@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's tables or
+figures inside a pytest-benchmark timer and asserts its qualitative
+shape.  Scale is selected with the ``REPRO_SCALE`` environment variable
+(``smoke`` default, ``paper`` for the full 30,000-cycle windows).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "smoke")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

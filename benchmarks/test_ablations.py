@@ -1,0 +1,21 @@
+"""Bench: design-choice ablations (partitioning, thresholds, timeouts)."""
+
+from repro.experiments.ablations import run
+
+
+def test_ablations(once, scale):
+    results = once(run, scale)
+    sat = {
+        name: {s.label: s.saturation_throughput() for s in sweeps}
+        for name, sweeps in results.items()
+    }
+    part = sat["partitioning"]
+    assert len(part) == 4
+    # Shared extras raise availability (3 -> 9 for SA at 16 VCs); they
+    # must not cost throughput.
+    assert part["SA/shared-extras"] > 0.85 * part["SA/split"]
+    assert part["DR/shared-extras"] > 0.85 * part["DR/split"]
+    # Detection threshold: recovery still works across T values.
+    assert all(v > 0 for v in sat["detection_threshold"].values())
+    # Router timeout: PR functions across the sweep.
+    assert all(v > 0 for v in sat["router_timeout"].values())

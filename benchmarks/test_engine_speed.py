@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the simulator core (wall-clock tracking).
+
+These are classic pytest-benchmark measurements (multiple rounds) of the
+hot paths, so performance regressions in the flit-movement engine or the
+scheme controllers show up in CI history.
+"""
+
+import pytest
+
+from repro import SimConfig
+from repro.sim.engine import Engine
+
+
+def make_engine(scheme, load, **kw):
+    e = Engine(SimConfig(scheme=scheme, pattern=kw.pop("pattern", "PAT721"),
+                         load=load, seed=3, **kw))
+    e.run(500)  # warm the network to a realistic occupancy
+    return e
+
+
+@pytest.mark.parametrize("scheme", ["PR", "DR", "NONE"])
+def test_cycles_per_second_light_load(benchmark, scheme):
+    engine = make_engine(scheme, load=0.004)
+    benchmark(engine.run, 200)
+
+
+@pytest.mark.parametrize("scheme", ["PR", "DR"])
+def test_cycles_per_second_saturated(benchmark, scheme):
+    engine = make_engine(scheme, load=0.014)
+    benchmark(engine.run, 200)
+
+
+def test_cycles_16vc(benchmark):
+    engine = make_engine("PR", load=0.012, num_vcs=16)
+    benchmark(engine.run, 200)
+
+
+def test_engine_construction(benchmark):
+    benchmark(lambda: Engine(SimConfig(scheme="PR", load=0.004)))
+
+
+def test_cwg_snapshot_cost(benchmark):
+    from repro.core.cwg import detect_deadlock
+
+    engine = make_engine("PR", load=0.012)
+    benchmark(detect_deadlock, engine)

@@ -1,0 +1,18 @@
+"""Bench: Figure 11 — per-type queue separation (QA) at the endpoints."""
+
+from repro.experiments.fig11_queues import run
+
+
+def test_fig11(once, scale):
+    sweeps = once(run, scale)
+    sat = {s.label: s.saturation_throughput() for s in sweeps}
+    sa = sat["SA/PAT271/16vc"]
+    dr, pr = sat["DR/PAT271/16vc"], sat["PR/PAT271/16vc"]
+    dr_qa, pr_qa = sat["DR-QA/PAT271/16vc"], sat["PR-QA/PAT271/16vc"]
+    # Shared queues bottleneck DR and PR below SA...
+    assert sa >= 0.95 * max(dr, pr)
+    # ...and QA separation recovers the loss (paper: "both the DR and PR
+    # schemes outperform SA" with per-type queues).
+    assert dr_qa > dr and pr_qa > pr
+    assert dr_qa > 0.95 * sa
+    assert pr_qa > 0.95 * sa

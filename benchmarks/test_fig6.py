@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 6 (load-rate distributions)."""
+
+from repro.experiments.fig6_load_rates import run
+
+
+def test_fig6(once, scale):
+    rows = once(run, scale)
+    # FFT, LU and Water spend most of their time under 5% of capacity.
+    for app in ("fft", "lu", "water"):
+        assert rows[app]["frac_below_5pct"] > 0.6, app
+        assert rows[app]["mean"] < 0.08, app
+    # Radix is the only application approaching saturation.
+    assert rows["radix"]["mean"] > 0.08
+    assert rows["radix"]["max"] > 0.2
+    assert rows["radix"]["mean"] > 2 * rows["fft"]["mean"]

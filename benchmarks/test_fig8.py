@@ -1,0 +1,24 @@
+"""Bench: Figure 8 (4 VCs) — PR dominates when channels are scarce."""
+
+from repro.experiments.fig8_4vc import run
+from repro.experiments.figures import saturation_by_scheme
+
+
+def test_fig8(once, scale):
+    panels = once(run, scale)
+    sat = saturation_by_scheme(panels)
+    # PAT100: "over 100% more throughput than SA" — we assert a clear win.
+    assert sat["PAT100"]["PR"] > 1.15 * sat["PAT100"]["SA"]
+    # PAT721: "up to 100% more throughput than DR".
+    assert sat["PAT721"]["PR"] > 1.2 * sat["PAT721"]["DR"]
+    # "As the average chain length increases the difference in improvement
+    # reduces but is still substantial": PR never loses.
+    for pattern in ("PAT451", "PAT271", "PAT280"):
+        assert sat[pattern]["PR"] > 0.95 * sat[pattern]["DR"], pattern
+    ratio_721 = sat["PAT721"]["PR"] / sat["PAT721"]["DR"]
+    ratio_271 = sat["PAT271"]["PR"] / sat["PAT271"]["DR"]
+    assert ratio_721 > ratio_271
+    # SA is infeasible for chains > 2 at 4 VCs: absent from those panels.
+    assert "SA" not in sat["PAT721"]
+    # DR is invalid for the two-type PAT100.
+    assert "DR" not in sat["PAT100"]

@@ -1,0 +1,20 @@
+"""Bench: Figure 9 (8 VCs) — SA lags on skewed mixes; DR approaches PR."""
+
+from repro.experiments.fig9_8vc import run
+from repro.experiments.figures import saturation_by_scheme
+
+
+def test_fig9(once, scale):
+    panels = once(run, scale)
+    sat = saturation_by_scheme(panels)
+    # "SA saturates at an early load ... particularly acute when the
+    # message distribution is concentrated on only a few types".
+    assert sat["PAT721"]["PR"] > 1.1 * sat["PAT721"]["SA"]
+    # "the difference between SA and PR [is] negligible" for PAT100.
+    assert abs(sat["PAT100"]["PR"] - sat["PAT100"]["SA"]) < 0.3 * sat["PAT100"]["PR"]
+    # "the difference between DR and PR [is] practically negligible" for
+    # chains longer than two.
+    for pattern in ("PAT451", "PAT271", "PAT280"):
+        assert abs(sat[pattern]["PR"] - sat[pattern]["DR"]) < 0.3 * sat[pattern]["PR"]
+    # All three schemes are feasible at 8 VCs for four-type patterns.
+    assert {"SA", "DR", "PR"} <= set(sat["PAT721"])

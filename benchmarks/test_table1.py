@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 (response-type mix per application)."""
+
+import pytest
+
+from repro.experiments.table1_responses import PAPER_TABLE1, run
+
+
+def test_table1(once, scale):
+    rows = once(run, scale)
+    for app, paper in PAPER_TABLE1.items():
+        measured = rows[app]
+        for cls, want in paper.items():
+            assert measured[cls] == pytest.approx(want, abs=0.06), (app, cls)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 3 (message-type distributions)."""
+
+import pytest
+
+from repro.experiments.table3_distributions import run
+
+
+def test_table3(once, scale):
+    rows = once(run, scale)
+    for name, row in rows.items():
+        cf, mc, paper = row["closed_form"], row["monte_carlo"], row["paper"]
+        # Monte Carlo agrees with the closed form.
+        for a, b in zip(cf, mc):
+            assert a == pytest.approx(b, abs=0.02)
+        if name == "PAT721":
+            # Paper erratum: row sums to 112%; ours must sum to 100%.
+            assert sum(cf) == pytest.approx(1.0)
+            assert cf[1] == pytest.approx(paper[1], abs=0.005)  # m2 matches
+            assert cf[2] == pytest.approx(paper[2], abs=0.005)  # m3 matches
+        else:
+            for a, p in zip(cf, paper):
+                assert a == pytest.approx(p, abs=0.005)

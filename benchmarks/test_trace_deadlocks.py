@@ -1,0 +1,14 @@
+"""Bench: Section 4.2.2 — zero deadlocks under traces, incl. bristling."""
+
+from repro.experiments.trace_deadlocks import run
+
+
+def test_trace_deadlocks(once, scale):
+    rows = once(run, scale)
+    for app, configs in rows.items():
+        for name, r in configs.items():
+            # Paper: "no deadlock was observed with the bristled networks
+            # for all applications."
+            assert r["cwg_knots"] == 0, (app, name)
+            assert r["timeout_episodes"] == 0, (app, name)
+            assert r["messages"] > 0

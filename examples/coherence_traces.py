@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Trace-driven CC-NUMA characterization (the Section 4.2 study).
+
+Generates a synthetic Splash-2-like trace for a chosen application,
+replays it through the full-map MSI directory protocol on the paper's
+4x4-torus trace environment, and reports:
+
+* the Table 1 response-type mix (Direct Reply / Invalidation /
+  Forwarding),
+* the Figure 6 load-rate distribution, and
+* the number of message-dependent deadlocks observed (paper: zero),
+  under both the endpoint timeout detector and exact CWG knot checks.
+
+Run:  python examples/coherence_traces.py [fft|lu|radix|water] [duration]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments.fig6_load_rates import simulate_app
+from repro.traffic.splash import APP_MODELS
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "radix"
+    duration = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    if app not in APP_MODELS:
+        raise SystemExit(f"unknown app {app}; choose from {sorted(APP_MODELS)}")
+
+    print(f"Generating {app} trace ({duration} cycles, 16 CPUs) and "
+          f"replaying through MSI directory on a 4x4 torus...")
+    engine, samples = simulate_app(app, duration, cwg_interval=50)
+    coherence = engine.traffic.coherence
+
+    dist = coherence.response_distribution()
+    print(f"\nRequests: {coherence.requests}  "
+          f"(local cache hits: {coherence.local_hits})")
+    print("Response types (Table 1):")
+    target = APP_MODELS[app].response_mix
+    for (cls, frac), want in zip(dist.items(), target):
+        print(f"  {cls:14s} {frac*100:5.1f}%   (paper: {want*100:.1f}%)")
+
+    cap = engine.topology.uniform_capacity()
+    rel = samples / cap
+    print("\nLoad-rate distribution (Figure 6):")
+    print(f"  mean load          : {rel.mean()*100:5.1f}% of capacity")
+    print(f"  peak load          : {rel.max()*100:5.1f}% of capacity")
+    print(f"  time under 5%      : {(rel < 0.05).mean()*100:5.1f}%")
+
+    total = engine.stats.total
+    print("\nDeadlocks (paper: zero for all applications):")
+    print(f"  timeout episodes   : {total.deadlocks + total.deadlocks_unresolved}")
+    print(f"  exact CWG knots    : {engine.cwg_knots_seen}")
+    print(f"  messages delivered : {total.messages_delivered}")
+
+
+if __name__ == "__main__":
+    main()

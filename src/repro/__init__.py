@@ -1,0 +1,43 @@
+"""repro: reproduction of Song & Pinkston, "Efficient Handling of
+Message-Dependent Deadlock in Multiprocessor/Multicomputer Systems"
+(IPPS 2001 / USC CENG TR 01-01).
+
+A flit-level wormhole network simulator for k-ary n-cube tori with three
+message-dependent deadlock handling techniques: strict avoidance (SA),
+Origin2000-style deflective recovery (DR), and the paper's progressive
+recovery (PR, *Extended Disha Sequential*).
+
+Quickstart::
+
+    from repro import SimConfig, Engine
+
+    cfg = SimConfig(scheme="PR", pattern="PAT721", num_vcs=4, load=0.004)
+    engine = Engine(cfg)
+    window = engine.run_measured(warmup=2000, measure=5000)
+    print(window.throughput_fpc(engine.topology.num_nodes),
+          window.mean_latency())
+"""
+
+from repro.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.results import RunResult, SweepResult, burton_normal_form
+from repro.sim.sweep import run_point, run_sweep
+from repro.protocol.transactions import PATTERNS
+from repro.protocol.chains import GENERIC_MSI, GENERIC_ORIGIN, MSI_COHERENCE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "Engine",
+    "RunResult",
+    "SweepResult",
+    "burton_normal_form",
+    "run_point",
+    "run_sweep",
+    "PATTERNS",
+    "GENERIC_MSI",
+    "GENERIC_ORIGIN",
+    "MSI_COHERENCE",
+    "__version__",
+]

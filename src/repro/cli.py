@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+run
+    One simulation run; prints the metrics and the per-type breakdown.
+sweep
+    A load sweep for one (scheme, pattern, VCs) cell; prints the
+    Burton-Normal-Form curve and optionally writes JSON.
+experiments
+    Regenerate the paper's tables/figures (thin wrapper around
+    ``repro.experiments.runner``).
+trace
+    Generate a synthetic Splash-2-like trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import SimConfig
+from repro.sim.analysis import format_breakdown
+from repro.sim.engine import Engine
+from repro.sim.sweep import run_sweep
+
+
+def _add_config_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scheme", default="PR", choices=["SA", "DR", "PR", "NONE"])
+    p.add_argument("--pattern", default="PAT721")
+    p.add_argument("--vcs", type=int, default=4, dest="num_vcs")
+    p.add_argument("--dims", default="8x8",
+                   help="torus radices, e.g. 8x8 or 4x4x4")
+    p.add_argument("--bristling", type=int, default=1)
+    p.add_argument("--queue-mode", default="auto",
+                   choices=["auto", "shared", "per-net", "per-type"])
+    p.add_argument("--queue-capacity", type=int, default=16)
+    p.add_argument("--service-time", type=int, default=40)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--shared-extras", action="store_true")
+    p.add_argument("--recovery-policy", default="minimum",
+                   choices=["minimum", "drain"])
+
+
+def _config(args, load: float) -> SimConfig:
+    dims = tuple(int(k) for k in args.dims.lower().split("x"))
+    return SimConfig(
+        dims=dims,
+        bristling=args.bristling,
+        scheme=args.scheme,
+        pattern=args.pattern,
+        num_vcs=args.num_vcs,
+        queue_mode=args.queue_mode,
+        queue_capacity=args.queue_capacity,
+        service_time=args.service_time,
+        seed=args.seed,
+        shared_extras=args.shared_extras,
+        recovery_policy=args.recovery_policy,
+        load=load,
+    )
+
+
+def cmd_run(args) -> int:
+    engine = Engine(_config(args, args.load))
+    window = engine.run_measured(args.warmup, args.measure)
+    nodes = engine.topology.num_nodes
+    print(f"topology            : {engine.topology}")
+    print(f"scheme              : {engine.scheme.describe()}")
+    print(f"throughput          : {window.throughput_fpc(nodes):.4f} flits/node/cycle")
+    print(f"mean latency        : {window.mean_latency():.1f} cycles")
+    print(f"messages delivered  : {window.messages_delivered}")
+    print(f"deadlocks           : {window.deadlocks + window.deadlocks_unresolved}")
+    print(f"normalized deadlocks: {window.normalized_deadlocks():.3e}")
+    print("\nper-type breakdown (whole run):")
+    print(format_breakdown(engine.stats))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    loads = [float(x) for x in args.loads.split(",")]
+    sweep = run_sweep(
+        _config(args, loads[0]),
+        loads,
+        warmup=args.warmup,
+        measure=args.measure,
+        stop_past_saturation=not args.no_early_stop,
+    )
+    print(f"{'load':>8s} {'thr(fpc)':>9s} {'latency':>9s} {'deadlocks':>10s}")
+    for p in sweep.points:
+        print(f"{p.load:8.4f} {p.throughput_fpc:9.4f} {p.mean_latency:8.1f}c"
+              f" {p.deadlocks:10d}")
+    print(f"saturation: {sweep.saturation_throughput():.4f}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(sweep.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import runner
+
+    runner.main([args.scale, *args.names])
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.traffic.splash import generate_app_trace
+    from repro.traffic.trace import write_trace
+
+    records = generate_app_trace(args.app, args.cpus, args.duration, args.seed)
+    write_trace(args.out, records)
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Message-dependent deadlock simulator (Song & Pinkston).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="one simulation run")
+    _add_config_args(p)
+    p.add_argument("--load", type=float, default=0.008)
+    p.add_argument("--warmup", type=int, default=2000)
+    p.add_argument("--measure", type=int, default=8000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="load sweep -> Burton curve")
+    _add_config_args(p)
+    p.add_argument("--loads", default="0.002,0.004,0.008,0.012,0.016")
+    p.add_argument("--warmup", type=int, default=2000)
+    p.add_argument("--measure", type=int, default=5000)
+    p.add_argument("--no-early-stop", action="store_true")
+    p.add_argument("--json", help="write the sweep result to a JSON file")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("experiments", help="regenerate tables/figures")
+    p.add_argument("scale", nargs="?", default="smoke",
+                   choices=["smoke", "paper"])
+    p.add_argument("names", nargs="*")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("trace", help="generate a synthetic app trace")
+    p.add_argument("app", choices=["fft", "lu", "radix", "water"])
+    p.add_argument("out")
+    p.add_argument("--cpus", type=int, default=16)
+    p.add_argument("--duration", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Simulation configuration.
+
+One dataclass carries every knob of a run; defaults reproduce the
+paper's Table 2 ("Default simulation parameters for FlexSim"):
+8x8 torus, wormhole switching, 4 VCs per link, 2-flit channel buffers,
+4-flit requests / 20-flit replies (set on the protocol's message types),
+one processor per node, 40-clock message service, random traffic and
+16-message NI queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ConfigurationError
+
+_VALID_SCHEMES = ("SA", "DR", "PR", "NONE")
+_VALID_QUEUE_MODES = ("auto", "shared", "per-net", "per-type")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """All parameters of a single simulation run."""
+
+    # --- network (Table 2) ---
+    dims: tuple[int, ...] = (8, 8)
+    bristling: int = 1
+    num_vcs: int = 4
+    flit_buffer_depth: int = 2
+
+    # --- deadlock handling ---
+    scheme: str = "PR"
+    #: split per-class channel partitioning vs Martinez shared extras.
+    shared_extras: bool = False
+    #: queue organisation; "auto" picks the scheme's default
+    #: (SA: per-type, DR: per-net, PR/NONE: shared).  Setting "per-type"
+    #: for DR/PR yields the paper's Figure 11 "QA" configurations.
+    queue_mode: str = "auto"
+    #: endpoint detection timeout T (cycles), Section 4.1.
+    detection_threshold: int = 25
+    #: occupancy fraction both queues must exceed (1.0 = full).
+    occupancy_threshold: float = 1.0
+    #: PR: cycles a packet header may block in-network before it is
+    #: considered potentially deadlocked (Disha timeout).
+    router_timeout: int = 25
+    #: DR recovery aggressiveness: "minimum" deflects exactly one message
+    #: per detection event (the paper's evaluation setting); "drain"
+    #: keeps deflecting queue heads until one would generate a
+    #: terminating reply or the output request queue falls below its
+    #: threshold (the DASH behaviour of the paper's footnote 4).
+    recovery_policy: str = "minimum"
+    #: PR token ring order: "interleaved" visits each router followed by
+    #: its NIs (default); "routers-first" visits all routers then all
+    #: NIs.  The paper notes the token path is logical and configurable.
+    token_ring: str = "interleaved"
+
+    # --- traffic ---
+    pattern: str = "PAT721"
+    #: applied load: request messages generated per node per cycle.
+    load: float = 0.005
+
+    # --- endpoints ---
+    queue_capacity: int = 16
+    service_time: int = 40
+    #: service duration of terminating messages (MSHR absorption).
+    sink_time: int = 1
+    #: MSHRs per node: bound on concurrently outstanding transactions.
+    max_outstanding: int = 16
+
+    # --- run control ---
+    seed: int = 1
+    #: optional CWG-based detection interval (0 = off; paper used 50).
+    cwg_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in _VALID_SCHEMES:
+            raise ConfigurationError(
+                f"scheme {self.scheme!r} not in {_VALID_SCHEMES}"
+            )
+        if self.queue_mode not in _VALID_QUEUE_MODES:
+            raise ConfigurationError(
+                f"queue_mode {self.queue_mode!r} not in {_VALID_QUEUE_MODES}"
+            )
+        if self.num_vcs < 1:
+            raise ConfigurationError("num_vcs must be positive")
+        if self.flit_buffer_depth < 1:
+            raise ConfigurationError("flit_buffer_depth must be positive")
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be positive")
+        if not 0.0 <= self.load <= 1.0:
+            raise ConfigurationError("load must be a per-cycle probability")
+        if self.max_outstanding < 1:
+            raise ConfigurationError("max_outstanding must be positive")
+        if self.recovery_policy not in ("minimum", "drain"):
+            raise ConfigurationError(
+                f"recovery_policy {self.recovery_policy!r} not in"
+                " ('minimum', 'drain')"
+            )
+        if self.token_ring not in ("interleaved", "routers-first"):
+            raise ConfigurationError(
+                f"token_ring {self.token_ring!r} not in"
+                " ('interleaved', 'routers-first')"
+            )
+
+    def with_(self, **kwargs) -> "SimConfig":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,97 @@
+"""DR recovery: Origin2000-style backoff deflection.
+
+When the detector fires at a node's NI, the head of the stressed input
+queue — a request whose consumption would generate further requests — is
+taken off the queue and *deflected*: a backoff reply (BRP) carrying the
+pending work is sent to the original requester, which then issues the
+subordinate request(s) directly.  The dependency chain
+``ORQ < FRQ < TRP`` becomes ``ORQ < BRP < FRQ < TRP`` (Figure 2), at the
+cost of one additional message per recovered transaction; the paper's
+"minimum recovery action" resolves exactly one message per detection
+event (Section 4.3.1).
+
+The BRP travels on the reply network, whose delivery is guaranteed by
+the requester's preallocated reply slot; the node keeps/creates its own
+reservations for any replies still owed to it along the deflected chain
+(e.g. the home's FRP slot in four-type chains).
+"""
+
+from __future__ import annotations
+
+from repro.core.detection import DetectorPair, build_detectors
+from repro.protocol.message import Message, NetClass
+
+
+class DeflectionController:
+    """Per-cycle DR behaviour: run detectors, deflect stressed heads."""
+
+    def __init__(self, scheme, engine) -> None:
+        self.scheme = scheme
+        self.engine = engine
+        self.detectors = build_detectors(
+            scheme, engine, scheme.couplings, require_request_child=True
+        )
+        self.deflections = 0
+
+    def step(self, now: int) -> None:
+        drain = self.scheme.config.recovery_policy == "drain"
+        for det in self.detectors:
+            if det.step(now) and self._try_deflect(det, now):
+                if drain:
+                    # DASH behaviour (paper footnote 4): keep removing
+                    # queue heads until one would generate a terminating
+                    # reply or the output queue drops below threshold.
+                    out_q = det.ni.out_bank.queue(det.out_cls)
+                    while out_q.admission_full and self._try_deflect(det, now):
+                        pass
+                det.reset(now)
+
+    # ------------------------------------------------------------------
+    def _try_deflect(self, det: DetectorPair, now: int) -> bool:
+        ni = det.ni
+        scheme = self.scheme
+        in_q = ni.in_bank.queue(det.in_cls)
+        head = in_q.peek()
+        if head is None or not head.continuation:
+            return False
+        if not any(
+            spec.mtype.net_class == NetClass.REQUEST for spec in head.continuation
+        ):
+            return False
+        backoff_type = scheme.protocol.backoff
+        out_q = ni.out_bank.queue(scheme.queue_class_of(backoff_type))
+        if out_q.free_slots <= 0:
+            return False
+        # R3: keep slots reserved for replies still owed to this node
+        # along the deflected chain (the home's FRP in 4-type chains).
+        if not scheme.make_reservations(ni.node, ni.in_bank, head.continuation):
+            return False
+
+        in_q.pop()
+        brp = Message(
+            backoff_type,
+            src=ni.node,
+            dst=head.src,
+            continuation=head.continuation,
+            transaction=head.transaction,
+            created_cycle=now,
+        )
+        brp.vc_class = scheme.vc_class_of(backoff_type)
+        brp.has_reservation = scheme.wants_reservation(backoff_type)
+        out_q.push(brp)
+
+        head.deflected = True
+        head.consumed_cycle = now
+        txn = head.transaction
+        if txn is not None:
+            # The deflected request is consumed (-1) but the BRP adds a
+            # message (+1): outstanding is unchanged, the count grows.
+            txn.deflections += 1
+            txn.messages_used += 1
+        self.deflections += 1
+        scheme.deadlocks_detected += 1
+        scheme.recoveries += 1
+        stats = self.engine.stats
+        stats.on_consumed(head, now)
+        stats.on_deadlock(now, resolved=True)
+        return True

@@ -1,0 +1,119 @@
+"""Endpoint detection of potential message-dependent deadlock.
+
+Implements the three-condition detector of Section 2.2 (as used by the
+Origin2000 and assumed by the paper's DR/PR evaluations):
+
+1. the input queue holding a message type *and* the output queue its
+   subordinate would enter are both filled beyond a threshold;
+2. the message at the head of the input queue is one that generates a
+   (for DR: request-class) non-terminating subordinate;
+3. conditions 1-2 persist for more than a timeout of ``T`` cycles with
+   the NI making no progress.
+
+The default timeout is 25 cycles, the paper's stand-in for the average
+latency of CWG-based detection; progress is observed through the queues'
+version counters so any pop/push resets the episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocol.message import Message, NetClass
+
+
+@dataclass
+class DetectorPair:
+    """One (input class, output class) coupling to watch at one NI."""
+
+    ni: object
+    in_cls: int
+    out_cls: int
+    threshold: int
+    occupancy_threshold: float
+    require_request_child: bool
+    since: int = -1
+    last_version: int = -1
+    episode_counted: bool = field(default=False)
+
+    def _queue_stressed(self, q) -> bool:
+        if self.occupancy_threshold >= 1.0:
+            return q.admission_full
+        return q.occupancy >= self.occupancy_threshold * q.capacity
+
+    def _head_eligible(self, head: Message | None) -> bool:
+        if head is None or not head.continuation:
+            return False
+        if not self.require_request_child:
+            return True
+        return any(
+            spec.mtype.net_class == NetClass.REQUEST for spec in head.continuation
+        )
+
+    def head(self) -> Message | None:
+        return self.ni.in_bank.queue(self.in_cls).peek()
+
+    def step(self, now: int) -> bool:
+        """Advance one cycle; return True while the detector is *fired*."""
+        in_q = self.ni.in_bank.queue(self.in_cls)
+        out_q = self.ni.out_bank.queue(self.out_cls)
+        version = in_q.version + out_q.version
+        controller = self.ni.controller
+        servicing_here = (
+            controller.current is not None
+            and controller.current_in_cls == self.in_cls
+        )
+        conditions = (
+            not servicing_here  # an in-flight service *is* progress
+            and self._queue_stressed(in_q)
+            and self._queue_stressed(out_q)
+            and self._head_eligible(in_q.peek())
+        )
+        if not conditions or version != self.last_version:
+            self.since = now
+            self.last_version = version
+            self.episode_counted = False
+            return False
+        return (now - self.since) > self.threshold
+
+    def reset(self, now: int) -> None:
+        self.since = now
+        self.episode_counted = False
+
+
+def build_detectors(
+    scheme, engine, couplings: set[tuple[str, str]], require_request_child: bool
+) -> list[DetectorPair]:
+    """One detector per NI per distinct (in-queue, out-queue) coupling.
+
+    ``couplings`` are (parent type name, child type name) pairs from the
+    live traffic pattern/protocol; they are mapped through the scheme's
+    queue classes and de-duplicated (e.g. DR's per-net queues collapse
+    every request coupling to the single (request-in, request-out) pair).
+    """
+    protocol = scheme.protocol
+    pairs: set[tuple[int, int]] = set()
+    for parent, child in couplings:
+        child_t = protocol.type_named(child)
+        if require_request_child and child_t.net_class != NetClass.REQUEST:
+            continue
+        pairs.add(
+            (
+                scheme.queue_class_of(protocol.type_named(parent)),
+                scheme.queue_class_of(child_t),
+            )
+        )
+    detectors: list[DetectorPair] = []
+    for ni in engine.interfaces:
+        for in_cls, out_cls in sorted(pairs):
+            detectors.append(
+                DetectorPair(
+                    ni=ni,
+                    in_cls=in_cls,
+                    out_cls=out_cls,
+                    threshold=scheme.config.detection_threshold,
+                    occupancy_threshold=scheme.config.occupancy_threshold,
+                    require_request_child=require_request_child,
+                )
+            )
+    return detectors

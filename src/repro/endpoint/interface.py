@@ -1,0 +1,131 @@
+"""The network interface (NI): injection, delivery, and admission control.
+
+Each node has one NI holding the input/output queue banks, an unbounded
+*source queue* of not-yet-admitted transaction roots (so applied load is
+open-loop and queueing delay is charged to latency, as in the paper's
+measurements), and the per-logical-network injection channels.
+
+Admission of a new transaction requires a free MSHR (``max_outstanding``)
+plus, for schemes with reply preallocation, a reserved reply slot — the
+paper's Section 3 assumption that internal resources are preallocated so
+subordinate messages can always sink.
+
+The NI also owns the progress markers consumed by the endpoint deadlock
+detector (:mod:`repro.core.detection`) and, under progressive recovery, a
+deadlock message buffer (DMB) managed by
+:mod:`repro.core.progressive`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.endpoint.controller import MemoryController
+from repro.endpoint.queues import QueueBank
+from repro.network.fabric import Fabric
+from repro.protocol.message import Message
+
+
+class NetworkInterface:
+    """Endpoint glue between the protocol layer and the network fabric."""
+
+    def __init__(
+        self,
+        node: int,
+        fabric: Fabric,
+        policy,
+        stats,
+        queue_capacity: int,
+        num_queue_classes: int,
+        max_outstanding: int,
+    ) -> None:
+        self.node = node
+        self.router = fabric.topology.router_of_node(node)
+        self.fabric = fabric
+        self.policy = policy
+        self.stats = stats
+        self.in_bank = QueueBank(num_queue_classes, queue_capacity)
+        self.out_bank = QueueBank(num_queue_classes, queue_capacity)
+        self.source_queue: deque[Message] = deque()
+        self.max_outstanding = max_outstanding
+        self.outstanding = 0
+        self.controller = MemoryController(
+            node, self.in_bank, self.out_bank, policy, stats
+        )
+        fabric.set_endpoint_hooks(node, self.try_reserve_delivery, self.deliver)
+        #: Deadlock message buffer; managed by progressive recovery.
+        self.dmb: Message | None = None
+
+    # ------------------------------------------------------------------
+    # Fabric-facing hooks
+    # ------------------------------------------------------------------
+    def try_reserve_delivery(self, msg: Message) -> bool:
+        cls = self.policy.queue_class_of(msg.mtype)
+        return self.in_bank.queue(cls).try_claim_slot(msg)
+
+    def deliver(self, msg: Message, now: int) -> None:
+        cls = self.policy.queue_class_of(msg.mtype)
+        self.in_bank.queue(cls).commit(msg)
+        msg.delivered_cycle = now
+        self.stats.on_delivered(msg, now)
+
+    # ------------------------------------------------------------------
+    # Per-cycle work
+    # ------------------------------------------------------------------
+    def enqueue_root(self, root: Message) -> None:
+        """Hand a freshly generated transaction root to the NI."""
+        self.source_queue.append(root)
+
+    def step(self, now: int) -> None:
+        self._admit_roots(now)
+        self._load_injection(now)
+        self.controller.step(now)
+
+    def _admit_roots(self, now: int) -> None:
+        while self.source_queue:
+            root = self.source_queue[0]
+            if self.outstanding >= self.max_outstanding:
+                return
+            cls = self.policy.queue_class_of(root.mtype)
+            out_q = self.out_bank.queue(cls)
+            if out_q.free_slots <= 0:
+                return
+            # R1: preallocate reply slots for everything this transaction
+            # will send back to us before letting the request loose.
+            if not self.policy.make_reservations(
+                self.node, self.in_bank, root.continuation
+            ):
+                return
+            self.source_queue.popleft()
+            root.vc_class = self.policy.vc_class_of(root.mtype)
+            root.has_reservation = False
+            out_q.push(root)
+            self.outstanding += 1
+            self.stats.on_admitted(root, now)
+
+    def _load_injection(self, now: int) -> None:
+        for cls in range(self.out_bank.num_classes):
+            chan = self.fabric.injection_channel(self.node, cls)
+            if chan.idle:
+                queue = self.out_bank.queue(cls)
+                msg = queue.peek()
+                if msg is not None:
+                    queue.pop()
+                    self.fabric.start_injection(chan, msg, now)
+
+    def on_transaction_complete(self) -> None:
+        """Free the MSHR held by a completed transaction."""
+        self.outstanding -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection for detection/recovery
+    # ------------------------------------------------------------------
+    def input_queue(self, cls: int):
+        return self.in_bank.queue(cls)
+
+    def output_queue(self, cls: int):
+        return self.out_bank.queue(cls)
+
+    def progress_version(self) -> int:
+        """Monotone counter that advances whenever the NI makes progress."""
+        return self.in_bank.total_version() + self.out_bank.total_version()

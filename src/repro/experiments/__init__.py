@@ -1,0 +1,12 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(scale="smoke"|"paper", seed=...) -> dict`` and
+a ``main()`` that prints the regenerated rows/series.  ``smoke`` shrinks
+cycle counts and load grids so the whole suite finishes in minutes;
+``paper`` uses the paper's 30,000-cycle measurement windows.  See
+EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments.common import SCALES, Scale
+
+__all__ = ["Scale", "SCALES"]

@@ -1,0 +1,77 @@
+"""Ablations of design choices beyond the paper's figures.
+
+1. **Channel partitioning** — SA/DR with split extras (availability
+   ``1 + (C/L - E_r)``) vs Martinez-style shared extras
+   (``1 + (C - E_m)``), Section 2.1's two availability formulas.
+2. **Detection threshold** — sensitivity of DR/PR to the endpoint
+   timeout T (paper fixes T = 25 as the CWG-detection stand-in).
+3. **Recovery aggressiveness** — PR's router-level Disha timeout, which
+   trades false-positive rescues against time spent deadlocked.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_scale, sweep_scheme
+from repro.sim.results import SweepResult
+
+
+def partitioning_ablation(scale: str = "smoke", seed: int = 1) -> list[SweepResult]:
+    """SA split vs shared-extras at 16 VCs on the skewed PAT721 mix."""
+    sc = get_scale(scale)
+    out = []
+    for scheme in ("SA", "DR"):
+        for shared in (False, True):
+            sweep = sweep_scheme(
+                "%s" % scheme, "PAT721", 16, sc, seed=seed, shared_extras=shared
+            )
+            sweep.label = f"{scheme}/{'shared-extras' if shared else 'split'}"
+            out.append(sweep)
+    return out
+
+
+def detection_threshold_ablation(
+    scale: str = "smoke", seed: int = 1, thresholds=(10, 25, 100)
+) -> list[SweepResult]:
+    """DR at 8 VCs under different endpoint timeouts."""
+    sc = get_scale(scale)
+    out = []
+    for t in thresholds:
+        s = sweep_scheme(
+            "DR", "PAT271", 8, sc, seed=seed, detection_threshold=t
+        )
+        s.label = f"DR/T={t}"
+        out.append(s)
+    return out
+
+
+def router_timeout_ablation(
+    scale: str = "smoke", seed: int = 1, timeouts=(25, 100, 400)
+) -> list[SweepResult]:
+    """PR at 4 VCs under different Disha router timeouts."""
+    sc = get_scale(scale)
+    out = []
+    for t in timeouts:
+        s = sweep_scheme("PR", "PAT721", 4, sc, seed=seed, router_timeout=t)
+        s.label = f"PR/rt={t}"
+        out.append(s)
+    return out
+
+
+def run(scale: str = "smoke", seed: int = 1) -> dict:
+    return {
+        "partitioning": partitioning_ablation(scale, seed),
+        "detection_threshold": detection_threshold_ablation(scale, seed),
+        "router_timeout": router_timeout_ablation(scale, seed),
+    }
+
+
+def main(scale: str = "smoke") -> None:
+    from repro.experiments.common import print_curves
+
+    results = run(scale)
+    for name, sweeps in results.items():
+        print_curves(f"Ablation: {name}", sweeps)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Figure 10: throughput/latency with 16 virtual channels per link.
+
+Panels (a)-(d) = PAT721/451/271/280 (the paper drops PAT100 here).
+With abundant channels, link balance stops mattering and *endpoint
+message coupling* dominates: schemes sharing NI queues between
+heterogeneous message types (DR with two queues, PR with one) fall below
+SA, whose per-type queues decouple the types.  Figure 11 shows the
+remedy (QA queue separation).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    print_figure,
+    run_figure,
+    saturation_by_scheme,
+)
+
+NUM_VCS = 16
+FIG10_PATTERNS = ("PAT721", "PAT451", "PAT271", "PAT280")
+
+
+def run(scale: str = "smoke", seed: int = 1) -> dict:
+    return run_figure(NUM_VCS, FIG10_PATTERNS, scale, seed=seed)
+
+
+def main(scale: str = "smoke") -> None:
+    panels = run(scale)
+    print_figure(f"Figure 10 ({NUM_VCS} VCs)", panels)
+    print("\nSaturation summary:", saturation_by_scheme(panels))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Figure 9: throughput/latency with 8 virtual channels per link.
+
+With 8 VCs all three schemes are feasible for four-type patterns.
+Paper findings reproduced here: SA still saturates early for patterns
+whose traffic concentrates on few types (only ``1 + (8/L - 2)`` channels
+per type); for PAT100 (two types) SA's share is large enough that SA and
+PR are nearly indistinguishable; DR approaches PR for chains longer than
+two because two partitions spread traffic almost as evenly as none.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    PANEL_PATTERNS,
+    print_figure,
+    run_figure,
+    saturation_by_scheme,
+)
+
+NUM_VCS = 8
+
+
+def run(scale: str = "smoke", seed: int = 1) -> dict:
+    return run_figure(NUM_VCS, PANEL_PATTERNS, scale, seed=seed)
+
+
+def main(scale: str = "smoke") -> None:
+    panels = run(scale)
+    print_figure(f"Figure 9 ({NUM_VCS} VCs)", panels)
+    print("\nSaturation summary:", saturation_by_scheme(panels))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Shared machinery for the Figure 8/9/10/11 throughput-latency studies."""
+
+from __future__ import annotations
+
+from repro.experiments.common import Scale, get_scale, print_curves, sweep_scheme
+from repro.protocol.transactions import PATTERNS
+from repro.sim.results import SweepResult
+
+#: Patterns in the paper's panel order for Figures 8 and 9.
+PANEL_PATTERNS = ("PAT100", "PAT721", "PAT451", "PAT271", "PAT280")
+
+
+def valid_schemes(pattern_name: str, num_vcs: int) -> list[str]:
+    """Schemes the paper plots for a (pattern, VC-count) cell.
+
+    SA needs ``C >= 2L`` escape channels (omitted at 4 VCs for chains
+    longer than two); DR degenerates for two-type patterns (omitted for
+    PAT100).  PR is always valid.
+    """
+    pattern = PATTERNS[pattern_name]
+    schemes = []
+    if num_vcs >= 2 * pattern.num_message_types:
+        schemes.append("SA")
+    if pattern.dr_valid:
+        schemes.append("DR")
+    schemes.append("PR")
+    return schemes
+
+
+def run_figure(
+    num_vcs: int,
+    patterns: tuple[str, ...],
+    scale: str | Scale,
+    seed: int = 1,
+) -> dict[str, list[SweepResult]]:
+    """One panel per pattern, one curve per valid scheme."""
+    sc = get_scale(scale)
+    panels: dict[str, list[SweepResult]] = {}
+    for pattern in patterns:
+        sweeps = [
+            sweep_scheme(scheme, pattern, num_vcs, sc, seed=seed)
+            for scheme in valid_schemes(pattern, num_vcs)
+        ]
+        panels[pattern] = sweeps
+    return panels
+
+
+def print_figure(title: str, panels: dict[str, list[SweepResult]]) -> None:
+    for pattern, sweeps in panels.items():
+        print_curves(f"{title} — {pattern}", sweeps)
+
+
+def saturation_by_scheme(panels: dict[str, list[SweepResult]]) -> dict:
+    """{pattern: {scheme-label: saturation throughput}} summary."""
+    return {
+        pattern: {s.label.split("/")[0]: s.saturation_throughput() for s in sweeps}
+        for pattern, sweeps in panels.items()
+    }

@@ -1,0 +1,63 @@
+"""Regenerate every table and figure: ``python -m repro.experiments.runner``.
+
+Usage::
+
+    python -m repro.experiments.runner [smoke|paper] [exp ...]
+
+With no experiment names, all of them run in order.  ``paper`` scale
+uses the paper's 30,000-cycle measurement windows and takes hours;
+``smoke`` (default) finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig6_load_rates,
+    fig8_4vc,
+    fig9_8vc,
+    fig10_16vc,
+    fig11_queues,
+    table1_responses,
+    table3_distributions,
+    trace_deadlocks,
+)
+
+EXPERIMENTS = {
+    "table1": table1_responses,
+    "table3": table3_distributions,
+    "fig6": fig6_load_rates,
+    "trace_deadlocks": trace_deadlocks,
+    "fig8": fig8_4vc,
+    "fig9": fig9_8vc,
+    "fig10": fig10_16vc,
+    "fig11": fig11_queues,
+    "ablations": ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    scale = "smoke"
+    names = []
+    for arg in argv:
+        if arg in ("smoke", "paper"):
+            scale = arg
+        elif arg in EXPERIMENTS:
+            names.append(arg)
+        else:
+            raise SystemExit(
+                f"unknown argument {arg!r}; experiments: {sorted(EXPERIMENTS)}"
+            )
+    names = names or list(EXPERIMENTS)
+    for name in names:
+        t0 = time.time()
+        EXPERIMENTS[name].main(scale)
+        print(f"[{name} done in {time.time() - t0:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Table 1: types and frequencies of responses to request messages.
+
+Replays the synthetic Splash-2-like traces through the full-map MSI
+directory and tabulates the Direct Reply / Invalidation / Forwarding
+mix per application.  Paper values:
+
+=========  ============  ============  ==========
+App        Direct Reply  Invalidation  Forwarding
+=========  ============  ============  ==========
+FFT        98.7%         0.9%          0.4%
+LU         96.5%         3.0%          0.5%
+Radix      95.5%         3.6%          0.8%
+Water      15.2%         50.1%         34.7%
+=========  ============  ============  ==========
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_scale
+from repro.protocol.coherence import (
+    DIRECT,
+    FORWARDING,
+    INVALIDATION,
+    DirectoryMSI,
+)
+from repro.traffic.splash import APP_MODELS, generate_app_trace
+
+#: Paper's Table 1, as fractions.
+PAPER_TABLE1 = {
+    "fft": {DIRECT: 0.987, INVALIDATION: 0.009, FORWARDING: 0.004},
+    "lu": {DIRECT: 0.965, INVALIDATION: 0.030, FORWARDING: 0.005},
+    "radix": {DIRECT: 0.955, INVALIDATION: 0.036, FORWARDING: 0.008},
+    "water": {DIRECT: 0.152, INVALIDATION: 0.501, FORWARDING: 0.347},
+}
+
+
+def run(scale: str = "smoke", seed: int = 2, num_cpus: int = 16) -> dict:
+    """Regenerate Table 1; returns {app: {class: fraction}}."""
+    sc = get_scale(scale)
+    rows: dict[str, dict[str, float]] = {}
+    for app in APP_MODELS:
+        records = generate_app_trace(app, num_cpus, sc.trace_duration, seed=seed)
+        directory = DirectoryMSI(num_cpus)
+        for r in records:
+            directory.access(r.cpu, r.op, r.block, r.cycle)
+        rows[app] = directory.response_distribution()
+    return rows
+
+
+def main(scale: str = "smoke") -> None:
+    rows = run(scale)
+    print("\n== Table 1: response types to request messages ==")
+    print(f"{'App':8s} {'Direct':>10s} {'Inval':>10s} {'Forward':>10s}"
+          f"   (paper: D/I/F)")
+    for app, dist in rows.items():
+        paper = PAPER_TABLE1[app]
+        print(
+            f"{app:8s} {dist[DIRECT]*100:9.1f}% {dist[INVALIDATION]*100:9.1f}%"
+            f" {dist[FORWARDING]*100:9.1f}%   "
+            f"({paper[DIRECT]*100:.1f}/{paper[INVALIDATION]*100:.1f}/"
+            f"{paper[FORWARDING]*100:.1f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

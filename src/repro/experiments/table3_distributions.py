@@ -1,0 +1,92 @@
+"""Table 3: message-type distributions of the transaction patterns.
+
+Computed two ways — closed form from the chain-length mix, and Monte
+Carlo over sampled transactions — and compared against the paper's rows.
+The PAT721 row of the paper sums to 112% (47.7+12.4+4.2+47.7); the
+closed-form values implied by its own chain-length mix are
+41.7/12.5/4.2/41.7 (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.protocol.message import MessageSpec
+from repro.protocol.transactions import PATTERNS
+from repro.util.rng import make_rng
+
+#: Paper's Table 3 message-type columns (fractions).  Keyed by the
+#: generic m1..m4 positions; PAT280 uses the Origin mapping where the
+#: m2 column is the (unused) backoff reply.
+PAPER_TABLE3 = {
+    "PAT100": (0.500, 0.000, 0.000, 0.500),
+    "PAT721": (0.477, 0.124, 0.042, 0.477),  # erratum: sums to 1.12
+    "PAT451": (0.371, 0.221, 0.037, 0.371),
+    "PAT271": (0.345, 0.276, 0.034, 0.345),
+    "PAT280": (0.357, 0.000, 0.286, 0.357),
+}
+
+
+def _column_order(pattern) -> list[str]:
+    """Type names in m1..m4 column order (absent columns map to None)."""
+    if pattern.protocol.name == "generic-origin":
+        return ["ORQ", None, "FRQ", "TRP"]
+    return ["m1", "m2", "m3", "m4"]
+
+
+def closed_form(pattern) -> tuple[float, float, float, float]:
+    dist = pattern.type_distribution()
+    return tuple(
+        dist.get(name, 0.0) if name else 0.0 for name in _column_order(pattern)
+    )
+
+
+def monte_carlo(pattern, samples: int = 20_000, seed: int = 7):
+    """Empirical distribution over sampled transactions."""
+    rng = make_rng(seed, f"table3-{pattern.name}")
+    counts: Counter[str] = Counter()
+
+    def count_spec(spec: MessageSpec) -> None:
+        counts[spec.mtype.name] += 1
+        for child in spec.continuation:
+            count_spec(child)
+
+    for _ in range(samples):
+        txn = pattern.build_transaction(0, 1, 2, 0, rng=rng)
+        counts[txn.root.mtype.name] += 1
+        for spec in txn.root.continuation:
+            count_spec(spec)
+    total = sum(counts.values())
+    return tuple(
+        counts.get(name, 0) / total if name else 0.0
+        for name in _column_order(pattern)
+    )
+
+
+def run(scale: str = "smoke", seed: int = 7) -> dict:
+    samples = 5_000 if scale == "smoke" else 50_000
+    out = {}
+    for name, pattern in PATTERNS.items():
+        out[name] = {
+            "closed_form": closed_form(pattern),
+            "monte_carlo": monte_carlo(pattern, samples, seed),
+            "paper": PAPER_TABLE3[name],
+        }
+    return out
+
+
+def main(scale: str = "smoke") -> None:
+    rows = run(scale)
+    print("\n== Table 3: message type distributions ==")
+    print(f"{'Pattern':8s} {'m1':>7s} {'m2':>7s} {'m3':>7s} {'m4':>7s}  (paper)")
+    for name, row in rows.items():
+        cf = row["closed_form"]
+        p = row["paper"]
+        print(
+            f"{name:8s} " + " ".join(f"{v*100:6.1f}%" for v in cf)
+            + "  (" + "/".join(f"{v*100:.1f}" for v in p) + ")"
+        )
+
+
+if __name__ == "__main__":
+    main()

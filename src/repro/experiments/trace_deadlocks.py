@@ -1,0 +1,63 @@
+"""Section 4.2.2: message-dependent deadlock frequency under real traces.
+
+The paper's finding: *no application experienced message-dependent
+deadlock*, on the base 4x4 torus or when network load is concentrated by
+bristling 2 and 4 nodes per router (2x4 and 2x2 tori).  This experiment
+replays every application trace through all three configurations with
+both the endpoint timeout detector and periodic exact CWG knot detection
+enabled, and reports the counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import get_scale
+from repro.experiments.fig6_load_rates import simulate_app
+from repro.traffic.splash import APP_MODELS
+
+#: (dims, bristling) for bristling factors 1, 2 and 4 with 16 CPUs.
+BRISTLED_CONFIGS = (
+    ((4, 4), 1),
+    ((2, 4), 2),
+    ((2, 2), 4),
+)
+
+
+def run(scale: str = "smoke", seed: int = 2) -> dict:
+    sc = get_scale(scale)
+    out: dict[str, dict] = {}
+    for app in APP_MODELS:
+        out[app] = {}
+        for dims, bristling in BRISTLED_CONFIGS:
+            engine, samples = simulate_app(
+                app,
+                sc.trace_duration,
+                seed=seed,
+                dims=dims,
+                bristling=bristling,
+                cwg_interval=50,
+            )
+            total = engine.stats.total
+            cap = engine.topology.uniform_capacity()
+            out[app][f"{dims[0]}x{dims[1]}b{bristling}"] = {
+                "timeout_episodes": total.deadlocks + total.deadlocks_unresolved,
+                "cwg_knots": engine.cwg_knots_seen,
+                "mean_load": float(samples.mean() / cap),
+                "messages": total.messages_delivered,
+            }
+    return out
+
+
+def main(scale: str = "smoke") -> None:
+    rows = run(scale)
+    print("\n== Trace-driven deadlock counts (paper: zero everywhere) ==")
+    for app, configs in rows.items():
+        for name, r in configs.items():
+            print(
+                f"{app:8s} {name:8s} episodes={r['timeout_episodes']:3d} "
+                f"knots={r['cwg_knots']:3d} mean_load={r['mean_load']*100:5.1f}% "
+                f"delivered={r['messages']}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Network substrate: topology, channels, routing, flit movement."""
+
+from repro.network.topology import Link, Torus, ring
+from repro.network.channel import EjectionPort, InjectionChannel, VirtualChannel
+from repro.network.routing import (
+    ESCAPE_PER_NETWORK,
+    RoutingFunction,
+    VcMap,
+    dimension_order_routing,
+    duato_routing,
+    duato_vc_map,
+    partitioned_vc_map,
+    tfar_vc_map,
+    true_fully_adaptive_routing,
+)
+from repro.network.fabric import Fabric
+
+__all__ = [
+    "Link",
+    "Torus",
+    "ring",
+    "VirtualChannel",
+    "InjectionChannel",
+    "EjectionPort",
+    "VcMap",
+    "RoutingFunction",
+    "ESCAPE_PER_NETWORK",
+    "partitioned_vc_map",
+    "tfar_vc_map",
+    "duato_vc_map",
+    "dimension_order_routing",
+    "duato_routing",
+    "true_fully_adaptive_routing",
+    "Fabric",
+]

@@ -1,0 +1,178 @@
+"""Virtual channels, injection channels and ejection ports.
+
+These are the *senders* and *sinks* of the flit-movement engine
+(:mod:`repro.network.fabric`).  A sender holds flits of at most one packet
+(wormhole channel allocation) and knows where its flits go next
+(``next_sink``); a sink accepts at most one flit per cycle subject to
+buffer space.
+
+The model follows the paper's Table 2 machinery: per-link virtual channels
+with small flit buffers (default 2 flits), one full-duplex injection/
+ejection port per network interface, and flit-level multiplexing of a
+physical link among its virtual channels (one flit per link per cycle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.topology import Link
+from repro.protocol.message import Message
+from repro.util.errors import SimulationError
+
+
+class VirtualChannel:
+    """One virtual channel of a unidirectional link.
+
+    The flit FIFO physically sits at the downstream router's input.  The
+    channel is *allocated* to a packet from the cycle its header is
+    accepted until the cycle its tail flit departs — the hold-and-wait
+    behaviour that deadlock analysis is about.
+    """
+
+    __slots__ = ("link", "index", "capacity", "owner", "fifo", "next_sink")
+
+    def __init__(self, link: Link, index: int, capacity: int) -> None:
+        self.link = link
+        self.index = index
+        self.capacity = capacity
+        self.owner: Message | None = None
+        # Entries are (flit_index, arrival_cycle).
+        self.fifo: deque[tuple[int, int]] = deque()
+        # Where this packet's flits go after this channel: another
+        # VirtualChannel, an EjectionPort, or None while unrouted.
+        self.next_sink = None
+
+    # -- sink interface -------------------------------------------------
+    def has_space(self) -> bool:
+        return len(self.fifo) < self.capacity
+
+    def accept_flit(self, flit_idx: int, now: int) -> None:
+        if len(self.fifo) >= self.capacity:  # pragma: no cover - guarded
+            raise SimulationError(f"flit pushed into full VC {self!r}")
+        self.fifo.append((flit_idx, now))
+
+    # -- sender interface -----------------------------------------------
+    def ready_flit(self, now: int) -> int | None:
+        """Index of the flit that may depart this cycle, if any.
+
+        A flit may not arrive and depart in the same cycle (one-cycle
+        minimum per hop).
+        """
+        if self.fifo:
+            flit_idx, arrived = self.fifo[0]
+            if arrived < now:
+                return flit_idx
+        return None
+
+    def pop_flit(self) -> int:
+        return self.fifo.popleft()[0]
+
+    def release(self) -> None:
+        """Free the channel after the tail flit departs."""
+        if self.fifo:  # pragma: no cover - guarded by callers
+            raise SimulationError(f"releasing non-empty VC {self!r}")
+        self.owner = None
+        self.next_sink = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        o = self.owner.uid if self.owner else "-"
+        return (
+            f"VC(link={self.link.lid} {self.link.src}->{self.link.dst} "
+            f"vc{self.index} owner={o} occ={len(self.fifo)})"
+        )
+
+
+class InjectionChannel:
+    """Per-NI, per-logical-network packet injector.
+
+    Streams the flits of one packet at a time from the NI output queue
+    into the first allocated virtual channel (or directly into the local
+    ejection port when source and destination share a router).  Separate
+    injection channels per logical network prevent head-of-line coupling
+    between message classes at the injection port — a property strict
+    avoidance relies on; bandwidth is still shared (one flit per NI per
+    cycle, arbitrated by the fabric).
+    """
+
+    __slots__ = ("node", "router", "vc_class", "owner", "next_sink")
+
+    def __init__(self, node: int, router: int, vc_class: int) -> None:
+        self.node = node
+        self.router = router
+        self.vc_class = vc_class
+        self.owner: Message | None = None
+        self.next_sink = None
+
+    @property
+    def idle(self) -> bool:
+        return self.owner is None
+
+    def load(self, msg: Message) -> None:
+        if self.owner is not None:  # pragma: no cover - guarded
+            raise SimulationError("loading busy injection channel")
+        self.owner = msg
+        self.next_sink = None
+
+    # -- sender interface -----------------------------------------------
+    def ready_flit(self, now: int) -> int | None:
+        if self.owner is not None and self.owner.flits_sent < self.owner.size:
+            return self.owner.flits_sent
+        return None
+
+    def pop_flit(self) -> int:
+        idx = self.owner.flits_sent
+        self.owner.flits_sent += 1
+        return idx
+
+    def release(self) -> None:
+        self.owner = None
+        self.next_sink = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        o = self.owner.uid if self.owner else "-"
+        return f"Inj(node={self.node} cls={self.vc_class} owner={o})"
+
+
+class EjectionPort:
+    """Per-NI delivery port: drains one flit per cycle into the NI.
+
+    Reservation of a message slot in the NI input queue happens when the
+    *header* is routed to the port; if no slot is available the packet
+    blocks inside the network, holding its channels — this is precisely
+    the endpoint coupling through which message-dependent deadlock forms.
+    """
+
+    __slots__ = ("node", "senders", "_rr", "deliver", "flits_drained")
+
+    def __init__(self, node: int, deliver) -> None:
+        self.node = node
+        #: Senders currently routed to this port.
+        self.senders: list = []
+        self._rr = 0
+        #: Callback ``deliver(msg, now)`` invoked when a tail flit drains.
+        self.deliver = deliver
+        self.flits_drained = 0
+
+    def step(self, now: int) -> None:
+        """Drain at most one flit this cycle (round-robin among senders)."""
+        n = len(self.senders)
+        if n == 0:
+            return
+        start = self._rr % n
+        for i in range(n):
+            sender = self.senders[(start + i) % n]
+            flit = sender.ready_flit(now)
+            if flit is None:
+                continue
+            sender.pop_flit()
+            self.flits_drained += 1
+            msg = sender.owner
+            msg.flits_ejected += 1
+            if flit == msg.size - 1:  # tail: message fully delivered
+                finished = sender
+                finished.release()
+                self.senders.remove(finished)
+                self.deliver(msg, now)
+            self._rr = (start + i + 1) % max(1, len(self.senders))
+            return

@@ -1,0 +1,293 @@
+"""The flit-movement engine: allocation, link arbitration, ejection.
+
+The fabric advances the network by one cycle at a time in three phases:
+
+1. **Ejection** — each NI's ejection port drains at most one flit from a
+   packet routed to it; a tail flit completes delivery into the NI input
+   queue (via the delivery hook installed by the endpoint layer).
+2. **Allocation** — every *frontier* sender (a virtual channel or
+   injection channel holding a packet header with no assigned next hop)
+   attempts route computation + VC allocation, or reserves an input-queue
+   slot when the header has reached its destination router.  Failure
+   leaves the packet blocked, holding all channels its flits occupy.
+3. **Link traversal** — each unidirectional link forwards at most one
+   flit per cycle, round-robin among the senders routed over it; each NI
+   injects at most one flit per cycle across its injection channels.
+
+Blocking time of frontier packets is tracked on the message
+(``blocked_since``), which is what progressive recovery's router-level
+timeout detection consumes.
+"""
+
+from __future__ import annotations
+
+from repro.network.channel import EjectionPort, InjectionChannel, VirtualChannel
+from repro.network.routing import RoutingFunction
+from repro.network.topology import Torus
+from repro.protocol.message import Message
+from repro.util.errors import SimulationError
+
+
+class Fabric:
+    """Owns all network resources and moves flits between them."""
+
+    def __init__(
+        self,
+        topology: Torus,
+        num_vcs: int,
+        flit_buffer_depth: int,
+        routing: RoutingFunction,
+    ) -> None:
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.flit_buffer_depth = flit_buffer_depth
+        self.routing = routing
+
+        #: link id -> list of VirtualChannel (buffers at the downstream router)
+        self.link_vcs: list[list[VirtualChannel]] = [
+            [VirtualChannel(link, i, flit_buffer_depth) for i in range(num_vcs)]
+            for link in topology.links
+        ]
+        routing.bind(self.link_vcs)
+
+        #: link id -> senders currently routed over this link
+        self.link_senders: list[list] = [[] for _ in topology.links]
+        self._link_rr: list[int] = [0] * len(topology.links)
+        #: links with at least one sender (kept as a set for sparse scans)
+        self._busy_links: set[int] = set()
+
+        #: frontier senders awaiting route/VC allocation or a queue slot
+        self.pending: list = []
+
+        #: per-node ejection port; delivery hooks installed via set_endpoint_hooks
+        self.ejection_ports: list[EjectionPort] = [
+            EjectionPort(node, self._unwired_deliver)
+            for node in range(topology.num_nodes)
+        ]
+        #: per-node reservation hook: try_reserve(msg) -> bool
+        self._reserve_hooks = [self._unwired_reserve] * topology.num_nodes
+
+        #: (node, vc_class) -> InjectionChannel
+        self._inj_channels: dict[tuple[int, int], InjectionChannel] = {}
+        self._inj_used = bytearray(topology.num_nodes)
+
+        # Statistics
+        self.flits_forwarded = 0
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self.alloc_failures = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _unwired_deliver(msg, now):  # pragma: no cover - guarded
+        raise SimulationError("delivery hook not installed")
+
+    @staticmethod
+    def _unwired_reserve(msg):  # pragma: no cover - guarded
+        raise SimulationError("reservation hook not installed")
+
+    def set_endpoint_hooks(self, node: int, try_reserve, deliver) -> None:
+        """Install the NI input-queue hooks for ``node``.
+
+        ``try_reserve(msg) -> bool`` reserves a message slot when the
+        header reaches the delivery port; ``deliver(msg, now)`` commits
+        the message once its tail flit drains.
+        """
+        self._reserve_hooks[node] = try_reserve
+        self.ejection_ports[node].deliver = deliver
+
+    def injection_channel(self, node: int, vc_class: int) -> InjectionChannel:
+        """The (lazily created) injection channel for a logical network."""
+        key = (node, vc_class)
+        chan = self._inj_channels.get(key)
+        if chan is None:
+            chan = InjectionChannel(
+                node, self.topology.router_of_node(node), vc_class
+            )
+            self._inj_channels[key] = chan
+        return chan
+
+    # ------------------------------------------------------------------
+    # Packet entry
+    # ------------------------------------------------------------------
+    def start_injection(self, chan: InjectionChannel, msg: Message, now: int) -> None:
+        """Begin streaming ``msg`` from an idle injection channel."""
+        chan.load(msg)
+        msg.injected_cycle = now
+        msg.blocked_since = now
+        self.pending.append(chan)
+
+    # ------------------------------------------------------------------
+    # Cycle phases
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        self._phase_eject(now)
+        self._phase_allocate(now)
+        self._phase_links(now)
+
+    def _phase_eject(self, now: int) -> None:
+        for port in self.ejection_ports:
+            if port.senders:
+                before = port.flits_drained
+                port.step(now)
+                self.flits_ejected += port.flits_drained - before
+
+    def _phase_allocate(self, now: int) -> None:
+        if not self.pending:
+            return
+        still: list = []
+        topo = self.topology
+        routing = self.routing
+        for sender in self.pending:
+            msg = sender.owner
+            if msg is None:  # rescued or otherwise detached meanwhile
+                continue
+            if sender.next_sink is not None:
+                # A recovery scheme may have routed this sender already.
+                continue
+            cur_router = (
+                sender.link.dst
+                if isinstance(sender, VirtualChannel)
+                else sender.router
+            )
+            dst_router = topo.router_of_node(msg.dst)
+            if cur_router == dst_router:
+                if self._reserve_hooks[msg.dst](msg):
+                    port = self.ejection_ports[msg.dst]
+                    sender.next_sink = port
+                    port.senders.append(sender)
+                    msg.blocked_since = -1
+                    continue
+            else:
+                allocated = False
+                for vc in routing.candidates(cur_router, dst_router, msg):
+                    if vc.owner is None:
+                        vc.owner = msg
+                        sender.next_sink = vc
+                        lid = vc.link.lid
+                        self.link_senders[lid].append(sender)
+                        self._busy_links.add(lid)
+                        allocated = True
+                        break
+                if allocated:
+                    msg.blocked_since = -1
+                    continue
+            # Blocked: keep waiting; stamp the start of the blocked episode.
+            if msg.blocked_since < 0:
+                msg.blocked_since = now
+            self.alloc_failures += 1
+            still.append(sender)
+        # Rotate for fairness so the same frontier does not always win ties.
+        if len(still) > 1:
+            still.append(still.pop(0))
+        self.pending = still
+
+    def _phase_links(self, now: int) -> None:
+        self._inj_used[:] = b"\x00" * len(self._inj_used)
+        done_links: list[int] = []
+        for lid in self._busy_links:
+            senders = self.link_senders[lid]
+            n = len(senders)
+            if n == 0:
+                done_links.append(lid)
+                continue
+            start = self._link_rr[lid] % n
+            for i in range(n):
+                sender = senders[(start + i) % n]
+                sink = sender.next_sink
+                if not sink.has_space():
+                    continue
+                flit = sender.ready_flit(now)
+                if flit is None:
+                    continue
+                is_injection = isinstance(sender, InjectionChannel)
+                if is_injection:
+                    if self._inj_used[sender.node]:
+                        continue
+                    self._inj_used[sender.node] = 1
+                self._move_flit(sender, sink, flit, now, is_injection)
+                self._link_rr[lid] = (start + i + 1) % max(1, len(senders))
+                break
+            if not senders:
+                done_links.append(lid)
+        for lid in done_links:
+            self._busy_links.discard(lid)
+
+    def _move_flit(
+        self,
+        sender,
+        sink: VirtualChannel,
+        flit: int,
+        now: int,
+        is_injection: bool,
+    ) -> None:
+        msg = sender.owner
+        sender.pop_flit()
+        sink.accept_flit(flit, now)
+        self.flits_forwarded += 1
+        if is_injection:
+            self.flits_injected += 1
+        if flit == 0:
+            # Header advanced one hop: update dateline state and queue the
+            # downstream channel for route computation next cycle.
+            msg.hops += 1
+            link = sink.link
+            if link.crosses_dateline:
+                msg.crossed_mask |= 1 << link.dim
+            self.pending.append(sink)
+            msg.blocked_since = now
+        if flit == msg.size - 1:
+            # Tail departed this sender: free the channel behind the packet.
+            self.link_senders[sink.link.lid].remove(sender)
+            sender.release()
+            if is_injection:
+                self.on_injection_complete(sender, msg, now)
+
+    # Hook the endpoint layer overrides to reload injection channels.
+    def on_injection_complete(self, chan: InjectionChannel, msg, now: int) -> None:
+        """Called when a packet's tail leaves its injection channel."""
+
+    # ------------------------------------------------------------------
+    # Introspection (used by detection, recovery and tests)
+    # ------------------------------------------------------------------
+    def frontier_senders(self) -> list:
+        """Senders holding a packet header that is not yet routed onward."""
+        return [s for s in self.pending if s.owner is not None and s.next_sink is None]
+
+    def blocked_frontiers(self, now: int, threshold: int) -> list:
+        """Frontier senders blocked for more than ``threshold`` cycles."""
+        out = []
+        for s in self.pending:
+            msg = s.owner
+            if (
+                msg is not None
+                and s.next_sink is None
+                and msg.blocked_since >= 0
+                and now - msg.blocked_since > threshold
+            ):
+                out.append(s)
+        return out
+
+    def detach_frontier(self, sender) -> None:
+        """Remove a frontier sender from the pending list (rescue path).
+
+        The caller becomes responsible for draining the sender's flits;
+        used by progressive recovery to reroute a packet over the
+        deadlock-buffer lane.
+        """
+        try:
+            self.pending.remove(sender)
+        except ValueError:  # pragma: no cover - tolerate double detach
+            pass
+
+    def occupancy(self) -> int:
+        """Total flits currently buffered in network virtual channels."""
+        return sum(
+            len(vc.fifo) for vcs in self.link_vcs for vc in vcs
+        )
+
+    def all_vcs(self):
+        for vcs in self.link_vcs:
+            yield from vcs

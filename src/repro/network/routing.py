@@ -1,0 +1,218 @@
+"""Virtual-channel maps and routing functions.
+
+A :class:`VcMap` assigns each virtual-channel index on every link to a
+*logical network* (message class) and a role (escape or adaptive).  The
+three deadlock-handling techniques differ exactly here:
+
+* **SA** — one logical network per message type: ``partitioned`` map with
+  ``num_classes = L``.  Per-type availability is ``1 + (C/L - E_r)`` with
+  split extras or ``1 + (C - E_m)`` with shared extras (Section 2.1).
+* **DR** — two logical networks (request/reply): ``partitioned`` with
+  ``num_classes = 2``.
+* **PR** — a single class with every channel adaptive and *no* escape:
+  ``tfar`` map (True Fully Adaptive Routing).
+
+Routing functions build on the map: deterministic dimension-order routing
+over the escape pair (Dally-Seitz dateline classes), Duato's protocol
+(minimal-adaptive over the adaptive set with the escape pair as fallback),
+and true fully adaptive routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.channel import VirtualChannel
+from repro.network.topology import Torus
+from repro.util.errors import ConfigurationError
+
+#: Escape channels needed per logical network on a torus (dateline pair).
+ESCAPE_PER_NETWORK = 2
+
+
+@dataclass(frozen=True)
+class VcMap:
+    """Assignment of VC indices to logical networks and roles.
+
+    Attributes
+    ----------
+    num_vcs:
+        Virtual channels per unidirectional link (``C``).
+    num_classes:
+        Number of logical networks.
+    escape:
+        Per class, the ``(class0, class1)`` dateline escape pair, or
+        ``None`` for classes with no escape (TFAR).
+    adaptive:
+        Per class, the tuple of fully adaptive VC indices available to it.
+    """
+
+    num_vcs: int
+    num_classes: int
+    escape: tuple[tuple[int, int] | None, ...]
+    adaptive: tuple[tuple[int, ...], ...]
+
+    def availability(self, cls: int) -> int:
+        """Channels a packet of this class can choose from at a hop.
+
+        The paper's availability metric: one escape channel (only one of
+        the pair is usable at a given hop) plus all adaptive channels.
+        """
+        esc = 1 if self.escape[cls] is not None else 0
+        return esc + len(self.adaptive[cls])
+
+    def classes_of_vc(self, vc_index: int) -> list[int]:
+        """Logical networks allowed to use a VC index (for validation)."""
+        out = []
+        for cls in range(self.num_classes):
+            pair = self.escape[cls]
+            if (pair is not None and vc_index in pair) or vc_index in self.adaptive[
+                cls
+            ]:
+                out.append(cls)
+        return out
+
+
+def partitioned_vc_map(
+    num_vcs: int, num_classes: int, shared_extras: bool = False
+) -> VcMap:
+    """Logical networks for SA (``num_classes = L``) or DR (= 2).
+
+    ``shared_extras`` implements the Martinez-style improvement where all
+    channels beyond the per-class escape minimum are shared among every
+    class, raising availability from ``1 + (C/L - E_r)`` to
+    ``1 + (C - E_m)``.
+    """
+    if num_classes < 1:
+        raise ConfigurationError("need at least one message class")
+    e_m = ESCAPE_PER_NETWORK * num_classes
+    if num_vcs < e_m:
+        raise ConfigurationError(
+            f"{num_vcs} VCs cannot host {num_classes} logical networks: "
+            f"need at least E_m = {e_m} escape channels (Section 2.1)"
+        )
+    escape: list[tuple[int, int]] = []
+    adaptive: list[tuple[int, ...]] = []
+    if shared_extras:
+        for cls in range(num_classes):
+            escape.append((2 * cls, 2 * cls + 1))
+        extras = tuple(range(e_m, num_vcs))
+        adaptive = [extras for _ in range(num_classes)]
+    else:
+        # Split channels as evenly as possible; earlier classes absorb the
+        # remainder.  Each class's first two channels are its escape pair.
+        base = num_vcs // num_classes
+        rem = num_vcs % num_classes
+        start = 0
+        for cls in range(num_classes):
+            share = base + (1 if cls < rem else 0)
+            if share < ESCAPE_PER_NETWORK:
+                raise ConfigurationError(
+                    f"class {cls} share {share} < {ESCAPE_PER_NETWORK} escape VCs"
+                )
+            escape.append((start, start + 1))
+            adaptive.append(tuple(range(start + 2, start + share)))
+            start += share
+    return VcMap(num_vcs, num_classes, tuple(escape), tuple(adaptive))
+
+
+def tfar_vc_map(num_vcs: int) -> VcMap:
+    """Single class, every channel adaptive, no escape (PR's map)."""
+    if num_vcs < 1:
+        raise ConfigurationError("need at least one VC")
+    return VcMap(num_vcs, 1, (None,), (tuple(range(num_vcs)),))
+
+
+def duato_vc_map(num_vcs: int) -> VcMap:
+    """Single class with an escape pair: Duato's protocol on one network."""
+    return partitioned_vc_map(num_vcs, 1)
+
+
+class RoutingFunction:
+    """Supplies candidate output VCs for a packet at a router.
+
+    ``link_vcs`` maps link id to that link's :class:`VirtualChannel`
+    list; it is bound by the fabric after construction via :meth:`bind`.
+    """
+
+    def __init__(self, topology: Torus, vc_map: VcMap, adaptive: bool) -> None:
+        self.topology = topology
+        self.vc_map = vc_map
+        #: Whether adaptive candidates are offered (Duato/TFAR) or the
+        #: packet is restricted to dimension-order escape routing.
+        self.adaptive = adaptive
+        self.link_vcs: list[list[VirtualChannel]] | None = None
+
+    def bind(self, link_vcs: list[list[VirtualChannel]]) -> None:
+        self.link_vcs = link_vcs
+
+    # ------------------------------------------------------------------
+    def escape_candidate(
+        self, router: int, dst_router: int, msg
+    ) -> VirtualChannel | None:
+        """The single dimension-order escape VC for this hop, if any."""
+        pair = self.vc_map.escape[msg.vc_class]
+        if pair is None:
+            return None
+        dirs = self.topology.productive_directions(router, dst_router)
+        if not dirs:
+            return None
+        # Lowest dimension first; prefer +1 on a tie of directions.
+        dim, direction, _ = min(dirs, key=lambda t: (t[0], -t[1]))
+        link = self.topology.out_link(router, dim, direction)
+        cls1 = link.crosses_dateline or (msg.crossed_mask >> dim) & 1
+        vc_index = pair[1] if cls1 else pair[0]
+        return self.link_vcs[link.lid][vc_index]
+
+    def adaptive_candidates(
+        self, router: int, dst_router: int, msg
+    ) -> list[VirtualChannel]:
+        """Free adaptive VCs on all productive links, emptiest first."""
+        indices = self.vc_map.adaptive[msg.vc_class]
+        if not indices or not self.adaptive:
+            return []
+        out: list[VirtualChannel] = []
+        for dim, direction, _ in self.topology.productive_directions(
+            router, dst_router
+        ):
+            link = self.topology.out_link(router, dim, direction)
+            vcs = self.link_vcs[link.lid]
+            for idx in indices:
+                vc = vcs[idx]
+                if vc.owner is None:
+                    out.append(vc)
+        out.sort(key=lambda vc: len(vc.fifo))
+        return out
+
+    def candidates(self, router: int, dst_router: int, msg) -> list[VirtualChannel]:
+        """All candidate output VCs in preference order.
+
+        Adaptive choices first (Duato: a packet may always fall back to
+        the escape path, listed last).  Only *free* adaptive channels are
+        returned; the escape candidate is returned regardless so callers
+        can wait on it.
+        """
+        cands = self.adaptive_candidates(router, dst_router, msg)
+        esc = self.escape_candidate(router, dst_router, msg)
+        if esc is not None:
+            cands.append(esc)
+        return cands
+
+
+def dimension_order_routing(topology: Torus, vc_map: VcMap) -> RoutingFunction:
+    """Deterministic DOR over each class's escape pair (Dally-Seitz)."""
+    if any(pair is None for pair in vc_map.escape):
+        raise ConfigurationError("DOR requires an escape pair per class")
+    return RoutingFunction(topology, vc_map, adaptive=False)
+
+
+def duato_routing(topology: Torus, vc_map: VcMap) -> RoutingFunction:
+    """Duato's protocol: minimal adaptive + dimension-order escape."""
+    if any(pair is None for pair in vc_map.escape):
+        raise ConfigurationError("Duato routing requires an escape pair per class")
+    return RoutingFunction(topology, vc_map, adaptive=True)
+
+
+def true_fully_adaptive_routing(topology: Torus, vc_map: VcMap) -> RoutingFunction:
+    """All channels adaptive, no escape; deadlock handled by recovery."""
+    return RoutingFunction(topology, vc_map, adaptive=True)

@@ -1,0 +1,234 @@
+"""k-ary n-cube (torus) topologies with bristling.
+
+The paper's experiments use bidirectional tori: 8x8 for the synthetic
+studies (Table 2) and 4x4 / 2x4 / 2x2 with bristling factors 1/2/4 for the
+trace-driven characterization (Section 4.2.2).  A ring is the special case
+``dims=(k,)`` (Figure 1).
+
+Terminology
+-----------
+router
+    A switching element; there are ``prod(dims)`` of them.
+node
+    A network endpoint (processor + NI).  ``bristling`` nodes attach to
+    each router, so ``num_nodes = num_routers * bristling``.
+link
+    A *unidirectional* channel between adjacent routers.  Full-duplex
+    physical links are modelled as two opposite unidirectional links.
+dateline
+    Per dimension ring, the wrap-around edge; crossing it switches the
+    escape virtual-channel class, which is what makes dimension-order
+    escape routing deadlock-free on a torus (Dally & Seitz).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional router-to-router channel.
+
+    ``crosses_dateline`` marks the wrap-around hop of the ring in
+    dimension ``dim`` travelling in direction ``direction`` (+1 or -1).
+    """
+
+    lid: int
+    src: int
+    dst: int
+    dim: int
+    direction: int
+    crosses_dateline: bool
+
+
+class Torus:
+    """A k-ary n-cube torus with optional bristling.
+
+    Parameters
+    ----------
+    dims:
+        Radix per dimension, e.g. ``(8, 8)`` for an 8x8 torus or ``(4,)``
+        for a 4-node ring.
+    bristling:
+        Number of endpoint nodes sharing each router (Table 2's
+        "bristling factor").
+    """
+
+    def __init__(self, dims: tuple[int, ...], bristling: int = 1) -> None:
+        if not dims or any(k < 1 for k in dims):
+            raise ConfigurationError(f"invalid dims {dims!r}")
+        if bristling < 1:
+            raise ConfigurationError(f"invalid bristling {bristling}")
+        self.dims = tuple(int(k) for k in dims)
+        self.bristling = int(bristling)
+        self.num_routers = math.prod(self.dims)
+        self.num_nodes = self.num_routers * self.bristling
+        self.ndim = len(self.dims)
+
+        # Strides for row-major coordinate packing.
+        self._strides = [1] * self.ndim
+        for d in range(self.ndim - 2, -1, -1):
+            self._strides[d] = self._strides[d + 1] * self.dims[d + 1]
+
+        self.links: list[Link] = []
+        # out_links[r][ (dim, dir) ] -> Link ; flattened for speed as dict
+        self._out: list[dict[tuple[int, int], Link]] = [
+            {} for _ in range(self.num_routers)
+        ]
+        self._in: list[list[Link]] = [[] for _ in range(self.num_routers)]
+        self._build_links()
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def coords(self, router: int) -> tuple[int, ...]:
+        """Row-major coordinates of a router id."""
+        out = []
+        for d in range(self.ndim):
+            out.append((router // self._strides[d]) % self.dims[d])
+        return tuple(out)
+
+    def router_id(self, coords: tuple[int, ...]) -> int:
+        return sum(
+            (c % k) * s for c, k, s in zip(coords, self.dims, self._strides)
+        )
+
+    def router_of_node(self, node: int) -> int:
+        return node // self.bristling
+
+    def nodes_of_router(self, router: int) -> range:
+        return range(router * self.bristling, (router + 1) * self.bristling)
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def _build_links(self) -> None:
+        lid = 0
+        for r in range(self.num_routers):
+            c = self.coords(r)
+            for d in range(self.ndim):
+                k = self.dims[d]
+                if k < 2:
+                    continue
+                for direction in (+1, -1):
+                    # k == 2 still gets distinct +1/-1 links (two parallel
+                    # physical channels), matching a true torus wiring.
+                    nc = list(c)
+                    nc[d] = (c[d] + direction) % k
+                    dst = self.router_id(tuple(nc))
+                    crosses = (direction == +1 and c[d] == k - 1) or (
+                        direction == -1 and c[d] == 0
+                    )
+                    link = Link(lid, r, dst, d, direction, crosses)
+                    self.links.append(link)
+                    self._out[r][(d, direction)] = link
+                    self._in[dst].append(link)
+                    lid += 1
+
+    def out_link(self, router: int, dim: int, direction: int) -> Link:
+        return self._out[router][(dim, direction)]
+
+    def out_links(self, router: int) -> list[Link]:
+        return list(self._out[router].values())
+
+    def in_links(self, router: int) -> list[Link]:
+        return self._in[router]
+
+    # ------------------------------------------------------------------
+    # Minimal routing helpers
+    # ------------------------------------------------------------------
+    def productive_directions(
+        self, src: int, dst: int
+    ) -> list[tuple[int, int, int]]:
+        """Minimal-progress ``(dim, direction, remaining_hops)`` choices.
+
+        When the two minimal directions tie (``delta == k/2``), both are
+        returned, giving adaptive routers the full minimal set; the
+        deterministic dimension-order router picks the first (+1).
+        """
+        a, b = self.coords(src), self.coords(dst)
+        out: list[tuple[int, int, int]] = []
+        for d in range(self.ndim):
+            k = self.dims[d]
+            delta = (b[d] - a[d]) % k
+            if delta == 0:
+                continue
+            if 2 * delta < k:
+                out.append((d, +1, delta))
+            elif 2 * delta > k:
+                out.append((d, -1, k - delta))
+            else:  # tie: both directions are minimal
+                out.append((d, +1, delta))
+                out.append((d, -1, delta))
+        return out
+
+    def min_hops(self, src: int, dst: int) -> int:
+        a, b = self.coords(src), self.coords(dst)
+        total = 0
+        for d in range(self.ndim):
+            k = self.dims[d]
+            delta = (b[d] - a[d]) % k
+            total += min(delta, k - delta)
+        return total
+
+    def dor_path(self, src: int, dst: int) -> list[Link]:
+        """The dimension-order (lowest dimension first) minimal path."""
+        path: list[Link] = []
+        cur = src
+        while cur != dst:
+            dirs = self.productive_directions(cur, dst)
+            dim, direction, _ = min(dirs)  # lowest dim, prefer +1 on ties
+            link = self.out_link(cur, dim, direction)
+            path.append(link)
+            cur = link.dst
+        return path
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Router graph with one edge per unidirectional link."""
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(range(self.num_routers))
+        for link in self.links:
+            g.add_edge(link.src, link.dst, lid=link.lid, dim=link.dim)
+        return g
+
+    def bisection_channels(self) -> int:
+        """Unidirectional channels crossing a balanced bisection (per direction).
+
+        Splits along the largest even dimension; each row of that dimension
+        contributes two rings-worth of crossing channels.
+        """
+        best = max(self.dims)
+        rows = self.num_routers // best
+        return 2 * rows  # two crossing links per row-ring, one direction
+
+    def uniform_capacity(self) -> float:
+        """Ideal uniform-random throughput bound, flits/node/cycle.
+
+        Bisection argument: half the nodes inject ``lambda`` of which half
+        crosses the cut, bounded by the crossing channel bandwidth; also
+        bounded by the single injection port per node.
+        """
+        if all(k == 1 for k in self.dims):
+            return 1.0
+        cross = self.bisection_channels()
+        cap = 4.0 * cross / self.num_nodes
+        return min(1.0, cap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(k) for k in self.dims)
+        b = f", bristling={self.bristling}" if self.bristling > 1 else ""
+        return f"Torus({dims}{b})"
+
+
+def ring(k: int, bristling: int = 1) -> Torus:
+    """A k-node bidirectional ring (the Figure 1 example topology)."""
+    return Torus((k,), bristling=bristling)

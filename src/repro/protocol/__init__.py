@@ -1,0 +1,47 @@
+"""Protocol layer: message types, dependency chains, transactions, coherence."""
+
+from repro.protocol.message import (
+    Message,
+    MessageSpec,
+    MessageType,
+    NetClass,
+    Transaction,
+    count_messages,
+)
+from repro.protocol.chains import (
+    GENERIC_MSI,
+    GENERIC_ORIGIN,
+    MSI_COHERENCE,
+    PROTOCOLS,
+    Protocol,
+)
+from repro.protocol.transactions import (
+    PAT100,
+    PAT271,
+    PAT280,
+    PAT451,
+    PAT721,
+    PATTERNS,
+    TransactionPattern,
+)
+
+__all__ = [
+    "Message",
+    "MessageSpec",
+    "MessageType",
+    "NetClass",
+    "Transaction",
+    "count_messages",
+    "Protocol",
+    "GENERIC_MSI",
+    "GENERIC_ORIGIN",
+    "MSI_COHERENCE",
+    "PROTOCOLS",
+    "TransactionPattern",
+    "PATTERNS",
+    "PAT100",
+    "PAT721",
+    "PAT451",
+    "PAT271",
+    "PAT280",
+]

@@ -1,0 +1,265 @@
+"""Full-map directory MSI cache coherence (Figure 5).
+
+Turns memory accesses into network transactions the way FlexSim's
+trace-driven mode does: a three-state (M/S/I) invalidation-based protocol
+with a full-map directory at each block's home node, producing the three
+response classes measured in Table 1:
+
+* **Direct Reply** — the home satisfies the request itself
+  (``RQ < RP``, chain length 2);
+* **Invalidation** — the home invalidates the sharers before replying
+  (``RQ < FRQ < FRP < RP``, length 4; one FRQ/FRP per sharer);
+* **Forwarding** — the home forwards to the exclusive owner
+  (``RQ < FRQ < FRP < RP``, length 4).
+
+Replies to forwarded requests return via the home ("The reply to the
+forwarded request is sent to the home where a reply message is sent to
+the requester", Section 4.2.2).  Caches are infinite (no evictions), as
+appropriate for trace-driven characterization.  When several sharers are
+invalidated the final reply is attached to one acknowledgement branch —
+a join is approximated by a chain, which preserves message counts and
+chain length.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.protocol.chains import MSI_COHERENCE, Protocol
+from repro.protocol.message import Message, MessageSpec, Transaction
+
+_txn_uid = itertools.count(1_000_000)
+
+#: Response classes (Table 1 row labels).
+DIRECT = "direct"
+INVALIDATION = "invalidation"
+FORWARDING = "forwarding"
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one memory block."""
+
+    state: str = "I"  # I | S | M
+    owner: int = -1
+    sharers: set[int] = field(default_factory=set)
+
+
+@dataclass
+class CoherenceTransaction:
+    """A built transaction plus its injection roots and classification."""
+
+    transaction: Transaction
+    roots: list[Message]
+    response_class: str
+    requester: int
+
+
+class DirectoryMSI:
+    """The protocol engine: accesses in, classified transactions out."""
+
+    def __init__(self, num_nodes: int, protocol: Protocol = MSI_COHERENCE) -> None:
+        self.num_nodes = num_nodes
+        self.protocol = protocol
+        self.directory: dict[int, DirectoryEntry] = {}
+        #: per-cpu cache state: (cpu, block) -> "S" | "M"
+        self.caches: dict[tuple[int, int], str] = {}
+        self.response_counts = {DIRECT: 0, INVALIDATION: 0, FORWARDING: 0}
+        self.local_hits = 0
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    def home_of(self, block: int) -> int:
+        return block % self.num_nodes
+
+    def entry(self, block: int) -> DirectoryEntry:
+        e = self.directory.get(block)
+        if e is None:
+            e = DirectoryEntry()
+            self.directory[block] = e
+        return e
+
+    # ------------------------------------------------------------------
+    def access(
+        self, cpu: int, op: str, block: int, now: int
+    ) -> CoherenceTransaction | None:
+        """Process one access; None when it hits locally (no traffic)."""
+        cached = self.caches.get((cpu, block))
+        if op == "R" and cached in ("S", "M"):
+            self.local_hits += 1
+            return None
+        if op == "W" and cached == "M":
+            self.local_hits += 1
+            return None
+
+        home = self.home_of(block)
+        entry = self.entry(block)
+        if op == "R":
+            result = self._read_miss(cpu, home, entry, block, now)
+        else:
+            result = self._write_miss(cpu, home, entry, block, now)
+        if result is not None:
+            self.requests += 1
+            self.response_counts[result.response_class] += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _read_miss(self, cpu, home, entry, block, now):
+        if entry.state == "M" and entry.owner != cpu and entry.owner != home:
+            # Forward to the exclusive owner; it degrades to S.
+            owner = entry.owner
+            self.caches[(owner, block)] = "S"
+            self.caches[(cpu, block)] = "S"
+            entry.state = "S"
+            entry.sharers = {owner, cpu}
+            entry.owner = -1
+            return self._forwarding(cpu, home, owner, now)
+        # Home can satisfy the read directly.
+        self.caches[(cpu, block)] = "S"
+        if entry.state == "M":  # owner is home (or requester impossible here)
+            entry.state = "S"
+            entry.sharers = {entry.owner, cpu}
+            entry.owner = -1
+        else:
+            entry.state = "S"
+            entry.sharers.add(cpu)
+        if cpu == home:
+            return None  # purely local
+        return self._direct(cpu, home, now)
+
+    def _write_miss(self, cpu, home, entry, block, now):
+        remote_sharers = {
+            s for s in entry.sharers if s not in (cpu,)
+        } if entry.state == "S" else set()
+        remote_owner = (
+            entry.owner
+            if entry.state == "M" and entry.owner not in (cpu,)
+            else -1
+        )
+        # Update end state first: requester becomes exclusive owner.
+        self.caches[(cpu, block)] = "M"
+        for s in list(entry.sharers):
+            if s != cpu:
+                self.caches.pop((s, block), None)
+        if remote_owner >= 0:
+            self.caches.pop((remote_owner, block), None)
+        entry.state = "M"
+        entry.owner = cpu
+        entry.sharers = set()
+
+        if remote_owner >= 0 and remote_owner != home:
+            return self._forwarding(cpu, home, remote_owner, now)
+        inv_targets = sorted(t for t in remote_sharers if t != home)
+        if inv_targets:
+            return self._invalidation(cpu, home, inv_targets, now)
+        if cpu == home:
+            return None
+        return self._direct(cpu, home, now)
+
+    # ------------------------------------------------------------------
+    # Transaction builders
+    # ------------------------------------------------------------------
+    def _types(self):
+        p = self.protocol
+        return (
+            p.type_named("RQ"),
+            p.type_named("FRQ"),
+            p.type_named("FRP"),
+            p.type_named("RP"),
+        )
+
+    def _new_txn(self, requester, home, length, now) -> Transaction:
+        return Transaction(
+            uid=next(_txn_uid),
+            requester=requester,
+            home=home,
+            chain_length=length,
+            created_cycle=now,
+        )
+
+    def _direct(self, cpu, home, now) -> CoherenceTransaction:
+        rq, _, _, rp = self._types()
+        txn = self._new_txn(cpu, home, 2, now)
+        root = Message(
+            rq, src=cpu, dst=home,
+            continuation=(MessageSpec(rp, cpu),),
+            transaction=txn, created_cycle=now,
+        )
+        txn.root = root
+        txn.outstanding = 2
+        txn.messages_used = 2
+        return CoherenceTransaction(txn, [root], DIRECT, cpu)
+
+    def _forwarding(self, cpu, home, owner, now) -> CoherenceTransaction:
+        rq, frq, frp, rp = self._types()
+        txn = self._new_txn(cpu, home, 4, now)
+        chain = MessageSpec(
+            frq, owner,
+            (MessageSpec(frp, home, (MessageSpec(rp, cpu),)),),
+        )
+        if cpu == home:
+            # The home itself requests: the forwarded request is the root.
+            root = Message(
+                frq, src=home, dst=owner,
+                continuation=(MessageSpec(frp, home),),
+                transaction=txn, created_cycle=now,
+            )
+            txn.root = root
+            txn.outstanding = 2
+            txn.messages_used = 2
+            txn.chain_length = 2
+            return CoherenceTransaction(txn, [root], FORWARDING, cpu)
+        root = Message(
+            rq, src=cpu, dst=home, continuation=(chain,),
+            transaction=txn, created_cycle=now,
+        )
+        txn.root = root
+        txn.outstanding = 4
+        txn.messages_used = 4
+        return CoherenceTransaction(txn, [root], FORWARDING, cpu)
+
+    def _invalidation(self, cpu, home, sharers, now) -> CoherenceTransaction:
+        rq, frq, frp, rp = self._types()
+        txn = self._new_txn(cpu, home, 4, now)
+        branches = []
+        for i, sharer in enumerate(sharers):
+            if i == len(sharers) - 1 and cpu != home:
+                # The final acknowledgement branch carries the reply.
+                ack = MessageSpec(frp, home, (MessageSpec(rp, cpu),))
+            else:
+                ack = MessageSpec(frp, home)
+            branches.append(MessageSpec(frq, sharer, (ack,)))
+        n_msgs = 2 * len(sharers) + (2 if cpu != home else 0)
+        if cpu == home:
+            txn.root = None
+            txn.outstanding = n_msgs
+            txn.messages_used = n_msgs
+            txn.chain_length = 2
+            roots = [
+                Message(
+                    spec.mtype, src=home, dst=spec.dst,
+                    continuation=spec.continuation,
+                    transaction=txn, created_cycle=now,
+                )
+                for spec in branches
+            ]
+            if roots:
+                txn.root = roots[0]
+            return CoherenceTransaction(txn, roots, INVALIDATION, cpu)
+        root = Message(
+            rq, src=cpu, dst=home, continuation=tuple(branches),
+            transaction=txn, created_cycle=now,
+        )
+        txn.root = root
+        txn.outstanding = n_msgs
+        txn.messages_used = n_msgs
+        return CoherenceTransaction(txn, [root], INVALIDATION, cpu)
+
+    # ------------------------------------------------------------------
+    def response_distribution(self) -> dict[str, float]:
+        """Table 1 row: fraction of requests per response class."""
+        total = sum(self.response_counts.values())
+        if total == 0:
+            return {k: 0.0 for k in self.response_counts}
+        return {k: v / total for k, v in self.response_counts.items()}

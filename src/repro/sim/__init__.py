@@ -1,0 +1,27 @@
+"""Simulation engine, statistics, results and sweeps."""
+
+from repro.sim.engine import Engine
+from repro.sim.stats import SimStats, WindowCounters
+from repro.sim.results import RunResult, SweepResult, burton_normal_form
+from repro.sim.sweep import run_point, run_sweep
+from repro.sim.analysis import (
+    OccupancyMonitor,
+    format_breakdown,
+    run_with_monitor,
+    type_breakdown,
+)
+
+__all__ = [
+    "Engine",
+    "SimStats",
+    "WindowCounters",
+    "RunResult",
+    "SweepResult",
+    "burton_normal_form",
+    "run_point",
+    "run_sweep",
+    "OccupancyMonitor",
+    "type_breakdown",
+    "format_breakdown",
+    "run_with_monitor",
+]

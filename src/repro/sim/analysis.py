@@ -1,0 +1,103 @@
+"""Post-run diagnostics: per-type latency and endpoint coupling.
+
+The paper's Figure 10/11 story is that *inter-message coupling* at the
+NI queues — heterogeneous types blocking behind each other — limits DR
+and PR once channels are abundant. These tools quantify that directly:
+
+* :func:`type_breakdown` — delivered counts, mean latency, source-queue
+  wait and in-network time per message type;
+* :class:`OccupancyMonitor` — periodic samples of NI queue occupancy by
+  message type, from which :func:`coupling_index` computes the mean
+  fraction of head-of-line blocking caused by a *different* type than
+  the one waiting behind it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+def type_breakdown(stats) -> dict[str, dict[str, float]]:
+    """Per-message-type means derived from ``SimStats.by_type``."""
+    out: dict[str, dict[str, float]] = {}
+    for name, row in stats.by_type.items():
+        n = max(1, row["delivered"])
+        out[name] = {
+            "delivered": row["delivered"],
+            "flits": row["flits"],
+            "mean_latency": row["latency_sum"] / n,
+            "mean_queue_wait": row["queue_wait_sum"] / n,
+            "mean_network_time": row["network_sum"] / n,
+            "rescued": row["rescued"],
+        }
+    return out
+
+
+@dataclass
+class OccupancyMonitor:
+    """Samples NI input-queue composition every ``interval`` cycles.
+
+    Attach by calling :meth:`maybe_sample` from your run loop (or use
+    :func:`run_with_monitor`). Cheap: one pass over NI queues per
+    sample.
+    """
+
+    engine: object
+    interval: int = 100
+    samples: int = 0
+    #: head-of-line pairs observed: (head type, waiting type) -> count
+    hol_pairs: Counter = field(default_factory=Counter)
+    occupancy_by_type: Counter = field(default_factory=Counter)
+
+    def maybe_sample(self, now: int) -> None:
+        if now % self.interval:
+            return
+        self.samples += 1
+        for ni in self.engine.interfaces:
+            for q in ni.in_bank:
+                entries = q.entries
+                for msg in entries:
+                    self.occupancy_by_type[msg.mtype.name] += 1
+                if len(entries) >= 2:
+                    head = entries[0].mtype.name
+                    for waiter in list(entries)[1:]:
+                        self.hol_pairs[(head, waiter.mtype.name)] += 1
+
+    def coupling_index(self) -> float:
+        """Fraction of queued-behind-head slots held up by a *different*
+        message type — 0.0 means queues are effectively homogeneous
+        (SA/QA behaviour), values near 1.0 mean heavy type coupling."""
+        total = sum(self.hol_pairs.values())
+        if total == 0:
+            return 0.0
+        cross = sum(
+            c for (head, waiter), c in self.hol_pairs.items() if head != waiter
+        )
+        return cross / total
+
+
+def run_with_monitor(engine, cycles: int, interval: int = 100) -> OccupancyMonitor:
+    """Run ``cycles`` steps while sampling queue composition."""
+    monitor = OccupancyMonitor(engine, interval=interval)
+    for _ in range(cycles):
+        engine.step()
+        monitor.maybe_sample(engine.now)
+    return monitor
+
+
+def format_breakdown(stats) -> str:
+    """Human-readable per-type table (used by examples and the CLI)."""
+    rows = type_breakdown(stats)
+    lines = [
+        f"{'type':8s} {'count':>8s} {'latency':>9s} {'queue':>8s} "
+        f"{'network':>8s} {'rescued':>8s}"
+    ]
+    for name in sorted(rows):
+        r = rows[name]
+        lines.append(
+            f"{name:8s} {r['delivered']:8.0f} {r['mean_latency']:8.1f}c "
+            f"{r['mean_queue_wait']:7.1f}c {r['mean_network_time']:7.1f}c "
+            f"{r['rescued']:8.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""The simulation engine: assembles substrates and runs the cycle loop.
+
+Per cycle, in order: traffic generation, endpoint work (transaction
+admission, injection loading, memory-controller service), fabric flit
+movement, and the scheme's detection/recovery actions; optionally a
+periodic CWG deadlock check (the paper's 50-cycle mode).
+"""
+
+from __future__ import annotations
+
+from repro.config import SimConfig
+from repro.core.schemes import Scheme, build_scheme
+from repro.endpoint.interface import NetworkInterface
+from repro.network.fabric import Fabric
+from repro.network.topology import Torus
+from repro.protocol.chains import Protocol
+from repro.protocol.transactions import PATTERNS
+from repro.sim.stats import SimStats, WindowCounters
+from repro.traffic.synthetic import SyntheticTraffic, pattern_couplings
+from repro.util.errors import ConfigurationError
+
+
+class Engine:
+    """One simulated network plus endpoints under one scheme."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        traffic=None,
+        protocol: Protocol | None = None,
+        types_used: tuple[str, ...] | None = None,
+        couplings: set[tuple[str, str]] | None = None,
+    ) -> None:
+        """Build a simulator.
+
+        With no explicit ``traffic``, synthetic traffic over
+        ``config.pattern`` is used and the protocol/type/coupling
+        information is derived from the pattern.  Trace-driven runs pass
+        their own traffic source plus protocol metadata.
+        """
+        self.config = config
+        self.topology = Torus(config.dims, bristling=config.bristling)
+
+        if traffic is None:
+            pattern = PATTERNS.get(config.pattern)
+            if pattern is None:
+                raise ConfigurationError(f"unknown pattern {config.pattern!r}")
+            traffic = SyntheticTraffic(pattern, config.load, config.seed)
+            protocol = pattern.protocol
+            types_used = pattern.types_used
+            couplings = pattern_couplings(pattern)
+        elif protocol is None or types_used is None or couplings is None:
+            raise ConfigurationError(
+                "custom traffic requires protocol, types_used and couplings"
+            )
+
+        self.protocol = protocol
+        self.traffic = traffic
+        self.scheme: Scheme = build_scheme(
+            config, self.topology, protocol, types_used, couplings
+        )
+        self.fabric = Fabric(
+            self.topology,
+            config.num_vcs,
+            config.flit_buffer_depth,
+            self.scheme.routing,
+        )
+        self.stats = SimStats(self)
+        self.interfaces = [
+            NetworkInterface(
+                node,
+                self.fabric,
+                self.scheme,
+                self.stats,
+                queue_capacity=config.queue_capacity,
+                num_queue_classes=self.scheme.num_queue_classes,
+                max_outstanding=config.max_outstanding,
+            )
+            for node in range(self.topology.num_nodes)
+        ]
+        self.scheme.attach(self)
+        self.traffic.attach(self)
+        self.now = 0
+        self.cwg_knots_seen = 0
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole system by one cycle."""
+        self.now += 1
+        now = self.now
+        self.traffic.step(now)
+        for ni in self.interfaces:
+            ni.step(now)
+        self.fabric.step(now)
+        self.scheme.step(now)
+        if self.config.cwg_interval and now % self.config.cwg_interval == 0:
+            from repro.core.cwg import detect_deadlock
+
+            knots = detect_deadlock(self)
+            if knots:
+                self.cwg_knots_seen += len(knots)
+        self.stats.on_cycle(now)
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def run_measured(self, warmup: int, measure: int) -> WindowCounters:
+        """Warm up, open the measurement window, run, and return it."""
+        self.run(warmup)
+        self.stats.begin_window(self.now)
+        self.run(measure)
+        return self.stats.end_window(self.now)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, examples)
+    # ------------------------------------------------------------------
+    def total_queued_messages(self) -> int:
+        return sum(
+            ni.in_bank.total_occupancy() + ni.out_bank.total_occupancy()
+            for ni in self.interfaces
+        )
+
+    def quiesce(self, max_cycles: int = 200_000) -> bool:
+        """Stop traffic and drain; True if the system empties.
+
+        Used by conservation tests: with generation off, every in-flight
+        message should eventually be delivered and consumed (unless an
+        unrecovered deadlock exists).
+        """
+        saved_load = getattr(self.traffic, "load", None)
+        if saved_load is not None:
+            self.traffic.load = 0.0
+        try:
+            for _ in range(max_cycles):
+                if self._empty():
+                    return True
+                self.step()
+            return self._empty()
+        finally:
+            if saved_load is not None:
+                self.traffic.load = saved_load
+
+    def _empty(self) -> bool:
+        if self.fabric.occupancy() > 0 or self.fabric.pending:
+            return False
+        if self.total_queued_messages() > 0:
+            return False
+        for ni in self.interfaces:
+            if ni.source_queue or not ni.controller.idle:
+                return False
+        for chan in self.fabric._inj_channels.values():
+            if chan.owner is not None:
+                return False
+        controller = getattr(self.scheme, "controller", None)
+        if controller is not None and getattr(controller, "phase", "idle") != "idle":
+            return False  # a progressive rescue is still in flight
+        traffic = self.traffic
+        if getattr(traffic, "exhausted", True) is False and traffic.load > 0:
+            return False
+        return True

@@ -1,0 +1,67 @@
+"""Result containers for single runs and load sweeps (JSON-friendly)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measured outcome of one (config, load) simulation run."""
+
+    scheme: str
+    pattern: str
+    num_vcs: int
+    load: float
+    cycles: int
+    messages_delivered: int
+    throughput_fpc: float
+    mean_latency: float
+    latency_max: int
+    deadlocks: int
+    normalized_deadlocks: float
+    transactions_completed: int
+    mean_txn_latency: float
+    queue_mode: str = "auto"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SweepResult:
+    """A Burton-Normal-Form curve: one RunResult per applied load."""
+
+    label: str
+    points: list[RunResult] = field(default_factory=list)
+
+    def throughputs(self) -> list[float]:
+        return [p.throughput_fpc for p in self.points]
+
+    def latencies(self) -> list[float]:
+        return [p.mean_latency for p in self.points]
+
+    def loads(self) -> list[float]:
+        return [p.load for p in self.points]
+
+    def saturation_throughput(self) -> float:
+        """Highest delivered throughput along the curve (the knee)."""
+        return max(self.throughputs(), default=0.0)
+
+    def latency_at_load(self, load: float) -> float:
+        for p in self.points:
+            if abs(p.load - load) < 1e-12:
+                return p.mean_latency
+        raise KeyError(f"no point at load {load}")
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, "points": [p.to_dict() for p in self.points]}
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def burton_normal_form(sweep: SweepResult) -> list[tuple[float, float]]:
+    """(throughput, latency) pairs for plotting (Section 4.3.1)."""
+    return list(zip(sweep.throughputs(), sweep.latencies()))

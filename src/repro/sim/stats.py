@@ -1,0 +1,164 @@
+"""Run statistics: latency, throughput, deadlock frequency.
+
+Counters are kept for the whole run and for an explicit *measurement
+window* (opened after warm-up), from which the paper's metrics are
+computed: average message latency in cycles (queue waiting + network
+time, i.e. generation to delivery into the destination input queue),
+delivered throughput in flits/node/cycle, and the *normalized number of
+deadlocks* — deadlocks divided by messages delivered (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocol.message import Message, Transaction
+
+
+@dataclass
+class WindowCounters:
+    """Counters accumulated while the measurement window is open."""
+
+    start_cycle: int = 0
+    end_cycle: int = 0
+    messages_delivered: int = 0
+    flits_delivered: int = 0
+    latency_sum: float = 0.0
+    latency_max: int = 0
+    messages_consumed: int = 0
+    transactions_completed: int = 0
+    txn_latency_sum: float = 0.0
+    deadlocks: int = 0
+    deadlocks_unresolved: int = 0
+    messages_admitted: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return max(1, self.end_cycle - self.start_cycle)
+
+    def mean_latency(self) -> float:
+        if self.messages_delivered == 0:
+            return 0.0
+        return self.latency_sum / self.messages_delivered
+
+    def throughput_fpc(self, num_nodes: int) -> float:
+        """Delivered traffic, flits per node per cycle."""
+        return self.flits_delivered / (num_nodes * self.cycles)
+
+    def normalized_deadlocks(self) -> float:
+        if self.messages_delivered == 0:
+            return 0.0
+        return (self.deadlocks + self.deadlocks_unresolved) / self.messages_delivered
+
+
+class SimStats:
+    """Event hub fed by NIs, memory controllers and schemes."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.total = WindowCounters()
+        self.window: WindowCounters | None = None
+        self.measuring = False
+        # Per-interval injected-flit counts for load-rate distributions
+        # (Figure 6); enabled on demand.
+        self.load_samples: list[float] = []
+        self._load_interval = 0
+        self._last_sample_cycle = 0
+        self._last_injected_flits = 0
+        # Per-message-type breakdown (whole run): delivered count, total
+        # latency, source-queue wait, and in-network time.  Feeds
+        # repro.sim.analysis (the endpoint-coupling diagnostics behind
+        # Figures 10/11).
+        self.by_type: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Window control
+    # ------------------------------------------------------------------
+    def begin_window(self, now: int) -> None:
+        self.window = WindowCounters(start_cycle=now, end_cycle=now)
+        self.measuring = True
+
+    def end_window(self, now: int) -> WindowCounters:
+        assert self.window is not None
+        self.window.end_cycle = now
+        self.measuring = False
+        return self.window
+
+    def enable_load_sampling(self, interval: int) -> None:
+        """Record injected flits/node/cycle per ``interval`` cycles."""
+        self._load_interval = interval
+        self._last_sample_cycle = 0
+        self._last_injected_flits = self.engine.fabric.flits_injected
+
+    def on_cycle(self, now: int) -> None:
+        if self._load_interval and now - self._last_sample_cycle >= self._load_interval:
+            injected = self.engine.fabric.flits_injected
+            delta = injected - self._last_injected_flits
+            nodes = self.engine.topology.num_nodes
+            cycles = now - self._last_sample_cycle
+            self.load_samples.append(delta / (nodes * cycles))
+            self._last_sample_cycle = now
+            self._last_injected_flits = injected
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def on_admitted(self, msg: Message, now: int) -> None:
+        self.total.messages_admitted += 1
+        if self.measuring:
+            self.window.messages_admitted += 1
+
+    def on_delivered(self, msg: Message, now: int) -> None:
+        latency = now - msg.created_cycle
+        row = self.by_type.get(msg.mtype.name)
+        if row is None:
+            row = self.by_type[msg.mtype.name] = {
+                "delivered": 0,
+                "flits": 0,
+                "latency_sum": 0.0,
+                "queue_wait_sum": 0.0,
+                "network_sum": 0.0,
+                "rescued": 0,
+            }
+        row["delivered"] += 1
+        row["flits"] += msg.size
+        row["latency_sum"] += latency
+        entered = msg.injected_cycle if msg.injected_cycle >= 0 else msg.created_cycle
+        row["queue_wait_sum"] += entered - msg.created_cycle
+        row["network_sum"] += now - entered
+        if msg.rescued:
+            row["rescued"] += 1
+        self.total.messages_delivered += 1
+        self.total.flits_delivered += msg.size
+        self.total.latency_sum += latency
+        self.total.latency_max = max(self.total.latency_max, latency)
+        if self.measuring:
+            w = self.window
+            w.messages_delivered += 1
+            w.flits_delivered += msg.size
+            w.latency_sum += latency
+            w.latency_max = max(w.latency_max, latency)
+
+    def on_consumed(self, msg: Message, now: int) -> None:
+        self.total.messages_consumed += 1
+        if self.measuring:
+            self.window.messages_consumed += 1
+
+    def on_transaction_complete(self, txn: Transaction, now: int) -> None:
+        self.engine.interfaces[txn.requester].on_transaction_complete()
+        latency = now - txn.created_cycle
+        self.total.transactions_completed += 1
+        self.total.txn_latency_sum += latency
+        if self.measuring:
+            self.window.transactions_completed += 1
+            self.window.txn_latency_sum += latency
+
+    def on_deadlock(self, now: int, resolved: bool) -> None:
+        if resolved:
+            self.total.deadlocks += 1
+            if self.measuring:
+                self.window.deadlocks += 1
+        else:
+            self.total.deadlocks_unresolved += 1
+            if self.measuring:
+                self.window.deadlocks_unresolved += 1

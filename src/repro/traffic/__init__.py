@@ -1,0 +1,5 @@
+"""Traffic sources: synthetic open-loop load and trace-driven replay."""
+
+from repro.traffic.synthetic import SyntheticTraffic, pattern_couplings
+
+__all__ = ["SyntheticTraffic", "pattern_couplings"]

@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG helpers and validation errors."""
+
+from repro.util.rng import make_rng
+from repro.util.errors import ConfigurationError, SimulationError
+
+__all__ = ["make_rng", "ConfigurationError", "SimulationError"]

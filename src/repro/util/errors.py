@@ -1,0 +1,21 @@
+"""Exception types raised by the simulator."""
+
+from __future__ import annotations
+
+
+class ConfigurationError(ValueError):
+    """An invalid or inconsistent simulation configuration.
+
+    Raised eagerly at construction time, e.g. when strict avoidance is
+    requested with fewer virtual channels than ``2 * chain_length`` or when
+    deflective recovery is paired with a two-type protocol (both
+    configurations the paper itself marks as infeasible/invalid).
+    """
+
+
+class SimulationError(RuntimeError):
+    """An internal invariant of the simulator was violated at run time.
+
+    These indicate bugs, never user error: e.g. a flit arriving into a full
+    buffer, a message delivered twice, or two simultaneous token holders.
+    """

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "PR" and args.num_vcs == 4
+
+    def test_dims_parsing(self):
+        args = build_parser().parse_args(["run", "--dims", "4x4x2"])
+        from repro.cli import _config
+
+        cfg = _config(args, 0.001)
+        assert cfg.dims == (4, 4, 2)
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "XYZ"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        rc = main(["run", "--dims", "4x4", "--load", "0.004",
+                   "--warmup", "200", "--measure", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "per-type breakdown" in out
+
+    def test_sweep_command_with_json(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", "--dims", "4x4", "--loads", "0.002,0.004",
+            "--warmup", "200", "--measure", "400", "--json", str(path),
+            "--no-early-stop",
+        ])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert len(data["points"]) == 2
+        assert data["points"][0]["load"] == 0.002
+
+    def test_trace_command(self, tmp_path, capsys):
+        path = tmp_path / "lu.trace"
+        rc = main(["trace", "lu", str(path), "--duration", "3000"])
+        assert rc == 0
+        from repro.traffic.trace import read_trace
+
+        assert len(read_trace(path)) > 0
+
+    def test_experiments_command(self, capsys):
+        rc = main(["experiments", "smoke", "table3"])
+        assert rc == 0
+        assert "Table 3" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Tests for the full-map directory MSI coherence engine."""
+
+import pytest
+
+from repro.protocol.coherence import (
+    DIRECT,
+    FORWARDING,
+    INVALIDATION,
+    DirectoryMSI,
+)
+from repro.protocol.message import count_messages
+
+
+@pytest.fixture
+def d():
+    return DirectoryMSI(num_nodes=8)
+
+
+BLOCK = 3  # home = 3
+
+
+class TestClassification:
+    def test_cold_read_is_direct(self, d):
+        r = d.access(0, "R", BLOCK, 0)
+        assert r.response_class == DIRECT
+        assert r.transaction.chain_length == 2
+
+    def test_read_hit_is_local(self, d):
+        d.access(0, "R", BLOCK, 0)
+        assert d.access(0, "R", BLOCK, 1) is None
+        assert d.local_hits == 1
+
+    def test_write_hit_after_write(self, d):
+        d.access(0, "W", BLOCK, 0)
+        assert d.access(0, "W", BLOCK, 1) is None
+
+    def test_read_of_remote_modified_is_forwarding(self, d):
+        d.access(0, "W", BLOCK, 0)
+        r = d.access(1, "R", BLOCK, 1)
+        assert r.response_class == FORWARDING
+        assert r.transaction.chain_length == 4
+
+    def test_write_to_shared_is_invalidation(self, d):
+        d.access(0, "R", BLOCK, 0)
+        d.access(1, "R", BLOCK, 1)
+        r = d.access(2, "W", BLOCK, 2)
+        assert r.response_class == INVALIDATION
+
+    def test_write_to_remote_modified_is_forwarding(self, d):
+        d.access(0, "W", BLOCK, 0)
+        r = d.access(1, "W", BLOCK, 1)
+        assert r.response_class == FORWARDING
+
+    def test_upgrade_sole_sharer_is_direct(self, d):
+        d.access(0, "R", BLOCK, 0)
+        r = d.access(0, "W", BLOCK, 1)
+        assert r.response_class == DIRECT
+
+    def test_home_owned_modified_read_is_direct(self, d):
+        d.access(3, "W", BLOCK, 0)  # home dirties its own block: local
+        assert d.requests == 0
+        r = d.access(1, "R", BLOCK, 1)
+        assert r.response_class == DIRECT
+
+
+class TestTransactionStructure:
+    def test_direct_reply_messages(self, d):
+        r = d.access(0, "R", BLOCK, 0)
+        root = r.roots[0]
+        assert root.mtype.name == "RQ" and root.dst == 3
+        assert 1 + count_messages(root.continuation) == 2
+        assert r.transaction.outstanding == 2
+
+    def test_forwarding_chain_via_home(self, d):
+        d.access(0, "W", BLOCK, 0)
+        r = d.access(1, "R", BLOCK, 1)
+        root = r.roots[0]
+        (frq,) = root.continuation
+        (frp,) = frq.continuation
+        (rp,) = frp.continuation
+        assert frq.mtype.name == "FRQ" and frq.dst == 0  # the owner
+        assert frp.mtype.name == "FRP" and frp.dst == 3  # back to home
+        assert rp.mtype.name == "RP" and rp.dst == 1  # to the requester
+        assert r.transaction.outstanding == 4
+
+    def test_multi_sharer_invalidation_counts(self, d):
+        for cpu in (0, 1, 2):
+            d.access(cpu, "R", BLOCK, cpu)
+        r = d.access(4, "W", BLOCK, 10)
+        assert r.response_class == INVALIDATION
+        # RQ + 3 FRQ + 3 FRP + RP = 8 messages.
+        assert r.transaction.outstanding == 8
+        branches = r.roots[0].continuation
+        assert len(branches) == 3
+        # Exactly one acknowledgement branch carries the final reply.
+        with_reply = [b for b in branches if b.continuation[0].continuation]
+        assert len(with_reply) == 1
+
+    def test_sharer_state_after_invalidation(self, d):
+        d.access(0, "R", BLOCK, 0)
+        d.access(1, "R", BLOCK, 1)
+        d.access(2, "W", BLOCK, 2)
+        e = d.entry(BLOCK)
+        assert e.state == "M" and e.owner == 2
+        assert (0, BLOCK) not in d.caches
+        assert (1, BLOCK) not in d.caches
+
+    def test_home_requester_invalidation_has_no_rq(self, d):
+        d.access(0, "R", BLOCK, 0)
+        r = d.access(3, "W", BLOCK, 1)  # home writes: FRQs from home
+        assert r.response_class == INVALIDATION
+        assert all(m.mtype.name == "FRQ" for m in r.roots)
+        assert r.transaction.outstanding == 2  # FRQ + FRP
+
+    def test_home_requester_forwarding(self, d):
+        d.access(0, "W", BLOCK, 0)
+        r = d.access(3, "R", BLOCK, 1)
+        assert r.response_class == FORWARDING
+        root = r.roots[0]
+        assert root.src == 3 and root.dst == 0
+        assert r.transaction.outstanding == 2
+
+
+class TestDistribution:
+    def test_response_distribution_sums_to_one(self, d):
+        d.access(0, "R", BLOCK, 0)
+        d.access(1, "W", BLOCK, 1)
+        dist = d.response_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_empty_distribution(self, d):
+        assert set(d.response_distribution().values()) == {0.0}

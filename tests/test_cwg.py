@@ -1,0 +1,94 @@
+"""Tests for channel wait-for graph construction and knot detection."""
+
+import networkx as nx
+import pytest
+
+from tests.helpers import build_engine, stall_endpoint
+from repro.core.cwg import build_wait_for_graph, detect_deadlock, find_knots
+from repro.protocol.transactions import PAT721
+
+
+class TestFindKnots:
+    def test_empty_graph(self):
+        assert find_knots(nx.DiGraph()) == []
+
+    def test_plain_cycle_is_knot(self):
+        g = nx.DiGraph([(1, 2), (2, 3), (3, 1)])
+        assert find_knots(g) == [{1, 2, 3}]
+
+    def test_cycle_with_escape_is_not_knot(self):
+        g = nx.DiGraph([(1, 2), (2, 3), (3, 1), (2, 4)])
+        assert find_knots(g) == []
+
+    def test_self_loop_is_knot(self):
+        g = nx.DiGraph([(1, 1)])
+        assert find_knots(g) == [{1}]
+
+    def test_chain_is_not_knot(self):
+        g = nx.DiGraph([(1, 2), (2, 3)])
+        assert find_knots(g) == []
+
+    def test_two_disjoint_knots(self):
+        g = nx.DiGraph([(1, 2), (2, 1), (3, 4), (4, 3)])
+        knots = find_knots(g)
+        assert {frozenset(k) for k in knots} == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_knot_definition_every_reachable_vertex_inside(self):
+        g = nx.DiGraph([(1, 2), (2, 3), (3, 1), (0, 1), (5, 3)])
+        (knot,) = find_knots(g)
+        for v in knot:
+            assert set(nx.descendants(g, v)) | {v} <= knot | {v}
+
+
+class TestEngineGraph:
+    def test_idle_engine_has_no_knots(self):
+        e = build_engine(scheme="PR")
+        assert detect_deadlock(e) == []
+
+    def test_light_traffic_has_no_knots(self):
+        e = build_engine(scheme="PR", load=0.002)
+        e.run(400)
+        assert detect_deadlock(e) == []
+
+    def test_stalled_endpoint_produces_wait_edges(self):
+        e = build_engine(scheme="PR")
+        nodes = e.topology.num_nodes
+
+        def factory(i):
+            req = (5 + 1 + i) % nodes
+            third = (5 + 6 + i) % nodes
+            while third in (5, req):
+                third = (third + 1) % nodes
+            return PAT721.build_transaction(req, 5, third, 0, length=3)
+
+        stall_endpoint(e, 5, factory)
+        g = build_wait_for_graph(e)
+        assert g.has_edge(("inq", 5, 0), ("outq", 5, 0))
+        assert g.has_edge(("outq", 5, 0), ("inj", 5, 0))
+
+    def test_sa_stays_knot_free_under_load(self):
+        # Strict avoidance: the CWG must never contain a knot.
+        e = build_engine(scheme="SA", pattern="PAT100", load=0.01, num_vcs=4)
+        for _ in range(6):
+            e.run(250)
+            assert detect_deadlock(e) == []
+
+    def test_mc_service_suppresses_queue_edge(self):
+        e = build_engine(scheme="PR")
+        nodes = e.topology.num_nodes
+
+        def factory(i):
+            req = (6 + i) % nodes
+            third = (11 + i) % nodes
+            while third in (5, req):
+                third = (third + 1) % nodes
+            return PAT721.build_transaction(req, 5, third, 0, length=3)
+
+        stall_endpoint(e, 5, factory)
+        mc = e.interfaces[5].controller
+        mc.current = object()
+        mc.current_in_cls = 0
+        g = build_wait_for_graph(e)
+        mc.current = None
+        mc.current_in_cls = None
+        assert not g.has_edge(("inq", 5, 0), ("outq", 5, 0))

@@ -1,0 +1,105 @@
+"""Tests for DR's Origin2000-style backoff deflection."""
+
+import pytest
+
+from tests.helpers import build_engine, stall_endpoint
+from repro.protocol.transactions import PAT280, PAT721
+
+
+def stall_home(engine, home, length=3, pattern=PAT721):
+    nodes = engine.topology.num_nodes
+
+    def factory(i):
+        req = (home + 1 + i) % nodes
+        if req == home:
+            req = (req + 1) % nodes
+        third = (home + 5 + i) % nodes
+        while third in (home, req):
+            third = (third + 1) % nodes
+        return pattern.build_transaction(req, home, third, engine.now, length=length)
+
+    return stall_endpoint(engine, home, factory)
+
+
+class TestDeflection:
+    def test_deflects_after_detection(self):
+        e = build_engine(scheme="DR")
+        roots = stall_home(e, home=5)
+        e.run(40)
+        ctl = e.scheme.controller
+        assert ctl.deflections >= 1
+        head = roots[0]
+        assert head.deflected
+        assert head.transaction.deflections == 1
+        # The deflected chain still uses one extra message.
+        assert head.transaction.messages_used == 4  # 3-chain + BRP
+
+    def test_brp_sent_to_requester_on_reply_network(self):
+        e = build_engine(scheme="DR")
+        roots = stall_home(e, home=5)
+        ctl = e.scheme.controller
+        while ctl.deflections == 0 and e.now < 100:
+            e.step()
+        assert ctl.deflections == 1
+        # Immediately after deflection the BRP sits in the reply-class
+        # output queue of the home node, addressed to the requester.
+        ni = e.interfaces[5]
+        brp = next(m for m in ni.out_bank.queue(1).entries if m.mtype.name == "BRP")
+        assert brp.dst == roots[0].src
+        assert brp.vc_class == 1  # reply network
+        assert brp.has_reservation  # sinks via the requester's MSHR slot
+
+    def test_minimum_recovery_one_message_per_event(self):
+        e = build_engine(scheme="DR")
+        stall_home(e, home=5)
+        e.run(30)
+        first = e.scheme.controller.deflections
+        assert first <= 1
+
+    def test_deflected_transaction_completes(self):
+        e = build_engine(scheme="DR")
+        roots = stall_home(e, home=5)
+        e.run(2000)
+        txn = roots[0].transaction
+        assert txn.completed
+        # ORQ < BRP < FRQ(m2) < TRP(m4): chain extended by recovery.
+        assert txn.deflections == 1
+
+    def test_works_for_origin_pattern(self):
+        e = build_engine(scheme="DR", pattern="PAT280")
+        roots = stall_home(e, home=5, pattern=PAT280, length=3)
+        e.run(2000)
+        assert e.scheme.controller.deflections >= 1
+        assert roots[0].transaction.completed
+
+    def test_counts_reported_as_deadlocks(self):
+        e = build_engine(scheme="DR")
+        stall_home(e, home=5)
+        e.run(60)
+        assert e.scheme.deadlocks_detected >= 1
+        assert e.stats.total.deadlocks >= 1
+
+    def test_no_deflection_without_stall(self):
+        e = build_engine(scheme="DR", load=0.002)
+        e.run(800)
+        assert e.scheme.controller.deflections == 0
+
+
+class TestReplyNetworkSafety:
+    def test_reply_queue_never_oversubscribed(self):
+        e = build_engine(scheme="DR", load=0.012, seed=4)
+        for _ in range(2500):
+            e.step()
+            for ni in e.interfaces:
+                q = ni.in_bank.queue(1)
+                assert len(q.entries) + q.held + q.reserved <= q.capacity
+
+    def test_deflection_preserves_home_reservation_l4(self):
+        # Deflecting an m1 that leads an L4 chain must keep the home's
+        # m3 (FRP) slot reserved so the reply network stays safe.
+        e = build_engine(scheme="DR")
+        roots = stall_home(e, home=5, length=4)
+        e.run(60)
+        home = e.interfaces[5]
+        assert roots[0].deflected
+        assert home.in_bank.queue(1).reserved >= 1

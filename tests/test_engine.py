@@ -1,0 +1,120 @@
+"""Engine-level end-to-end tests: all schemes, conservation, stats."""
+
+import pytest
+
+from tests.helpers import build_engine
+from repro import SimConfig
+from repro.sim.engine import Engine
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Engine(SimConfig(pattern="PATX"))
+
+    def test_custom_traffic_requires_metadata(self):
+        class Dummy:
+            def attach(self, e): ...
+
+        with pytest.raises(ConfigurationError):
+            Engine(SimConfig(), traffic=Dummy())
+
+    def test_interfaces_one_per_node(self):
+        e = build_engine(scheme="PR", dims=(2, 4), bristling=2)
+        assert len(e.interfaces) == 16
+
+
+@pytest.mark.parametrize(
+    "scheme,pattern,vcs",
+    [
+        ("PR", "PAT721", 4),
+        ("DR", "PAT721", 4),
+        ("SA", "PAT100", 4),
+        ("SA", "PAT721", 8),
+        ("NONE", "PAT271", 4),
+        ("PR", "PAT280", 4),
+        ("DR", "PAT280", 4),
+    ],
+)
+class TestEndToEnd:
+    def test_low_load_delivers_and_drains(self, scheme, pattern, vcs):
+        e = build_engine(scheme=scheme, pattern=pattern, num_vcs=vcs,
+                         load=0.003, seed=7)
+        w = e.run_measured(warmup=500, measure=1500)
+        assert w.messages_delivered > 50
+        assert w.mean_latency() > 0
+        # Conservation: stopping traffic drains everything.
+        assert e.quiesce(max_cycles=50_000)
+        total = e.stats.total
+        assert total.messages_consumed == total.messages_delivered
+        # Every generated transaction completed.
+        live = [t for t in e.traffic.transactions if not t.completed]
+        assert live == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        runs = []
+        for _ in range(2):
+            e = build_engine(scheme="PR", load=0.005, seed=13)
+            w = e.run_measured(500, 1000)
+            runs.append(
+                (w.messages_delivered, w.latency_sum, e.fabric.flits_forwarded)
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seed_differs(self):
+        a = build_engine(scheme="PR", load=0.005, seed=13)
+        b = build_engine(scheme="PR", load=0.005, seed=14)
+        wa = a.run_measured(500, 1000)
+        wb = b.run_measured(500, 1000)
+        assert (wa.messages_delivered, wa.latency_sum) != (
+            wb.messages_delivered,
+            wb.latency_sum,
+        )
+
+
+class TestStatsWindows:
+    def test_window_separate_from_total(self):
+        e = build_engine(scheme="PR", load=0.004, seed=3)
+        e.run(800)
+        before = e.stats.total.messages_delivered
+        w = e.run_measured(0, 800)
+        assert w.messages_delivered <= e.stats.total.messages_delivered
+        assert e.stats.total.messages_delivered > before
+
+    def test_throughput_and_normalized_deadlocks(self):
+        e = build_engine(scheme="PR", load=0.004, seed=3)
+        w = e.run_measured(500, 1000)
+        thr = w.throughput_fpc(e.topology.num_nodes)
+        assert 0 < thr < 1.5
+        assert w.normalized_deadlocks() == 0.0  # low load: none
+
+    def test_load_sampling(self):
+        e = build_engine(scheme="PR", load=0.004, seed=3)
+        e.stats.enable_load_sampling(100)
+        e.run(1000)
+        assert len(e.stats.load_samples) == 10
+        assert all(s >= 0 for s in e.stats.load_samples)
+
+
+class TestBristling:
+    def test_bristled_network_runs(self):
+        e = build_engine(scheme="PR", dims=(2, 2), bristling=4, load=0.004,
+                         seed=3)
+        w = e.run_measured(500, 1000)
+        assert w.messages_delivered > 10
+        assert e.topology.num_nodes == 16
+        assert e.quiesce(max_cycles=50_000)
+
+    def test_sibling_nodes_share_router(self):
+        e = build_engine(scheme="PR", dims=(2, 2), bristling=4, load=0.0)
+        assert e.interfaces[0].router == e.interfaces[3].router
+
+
+class TestCwgInterval:
+    def test_periodic_cwg_check_runs(self):
+        e = build_engine(scheme="PR", load=0.003, seed=3, cwg_interval=50)
+        e.run(500)
+        assert e.cwg_knots_seen == 0

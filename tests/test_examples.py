@@ -1,0 +1,51 @@
+"""The example scripts must run end-to-end (with small arguments)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=480):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "0.004")
+    assert "Delivered throughput" in out
+    assert "Normalized deadlocks" in out
+
+
+def test_deadlock_recovery_demo():
+    out = run_example("deadlock_recovery_demo.py")
+    assert "token CAPTURED" in out
+    assert "token RELEASED" in out
+    assert "progressive recovery adds none" in out
+
+
+def test_coherence_traces():
+    out = run_example("coherence_traces.py", "fft", "8000")
+    assert "Response types" in out
+    assert "CWG knots" in out
+
+
+def test_scheme_comparison():
+    out = run_example("scheme_comparison.py", "PAT100", "4")
+    assert "--- SA ---" in out and "--- PR ---" in out
+    assert "saturation throughput" in out
+
+
+def test_endpoint_coupling():
+    out = run_example("endpoint_coupling.py", "0.012")
+    assert "coupling index" in out
+    assert "per-type queues" in out

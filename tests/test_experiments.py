@@ -1,0 +1,83 @@
+"""Tests for the experiment harness (tiny custom scale for speed)."""
+
+import pytest
+
+from repro.experiments import SCALES, Scale
+from repro.experiments.common import (
+    MAX_LOAD_BY_VCS,
+    get_scale,
+    load_grid,
+    sweep_scheme,
+)
+from repro.experiments.figures import valid_schemes
+from repro.experiments import table1_responses, table3_distributions
+
+TINY = Scale("tiny", warmup=300, measure=600, sweep_points=2,
+             trace_duration=6000)
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"smoke", "paper"}
+        assert SCALES["paper"].measure == 30_000  # the paper's window
+
+    def test_get_scale_passthrough(self):
+        assert get_scale(TINY) is TINY
+        assert get_scale("smoke") is SCALES["smoke"]
+
+    def test_load_grid(self):
+        grid = load_grid(TINY, 0.01)
+        assert grid == [0.005, 0.01]
+        assert all(l <= MAX_LOAD_BY_VCS[4] for l in load_grid(TINY, 0.016))
+
+
+class TestValidSchemes:
+    def test_pat100_at_4vcs(self):
+        assert valid_schemes("PAT100", 4) == ["SA", "PR"]
+
+    def test_pat721_at_4vcs(self):
+        assert valid_schemes("PAT721", 4) == ["DR", "PR"]
+
+    def test_pat721_at_8vcs(self):
+        assert valid_schemes("PAT721", 8) == ["SA", "DR", "PR"]
+
+    def test_pat280_at_4vcs(self):
+        # Three types used: SA needs 6 VCs, DR and PR are fine.
+        assert valid_schemes("PAT280", 4) == ["DR", "PR"]
+
+    def test_pat280_at_8vcs(self):
+        assert valid_schemes("PAT280", 8) == ["SA", "DR", "PR"]
+
+
+class TestSweepScheme:
+    def test_label_and_points(self):
+        sweep = sweep_scheme("PR", "PAT721", 4, TINY, seed=3)
+        assert sweep.label == "PR/PAT721/4vc"
+        assert 1 <= len(sweep.points) <= 2
+        assert all(p.scheme == "PR" for p in sweep.points)
+
+    def test_qa_label(self):
+        sweep = sweep_scheme("PR", "PAT721", 4, TINY, seed=3,
+                             queue_mode="per-type")
+        assert sweep.label.startswith("PR-QA/")
+
+
+class TestCharacterizationExperiments:
+    def test_table1_runs_at_tiny_scale(self):
+        rows = table1_responses.run(TINY)
+        assert set(rows) == {"fft", "lu", "radix", "water"}
+        for dist in rows.values():
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_table3_structure(self):
+        rows = table3_distributions.run("smoke")
+        assert set(rows) == {"PAT100", "PAT721", "PAT451", "PAT271", "PAT280"}
+        for row in rows.values():
+            assert len(row["closed_form"]) == 4
+            assert len(row["monte_carlo"]) == 4
+
+    def test_runner_rejects_unknown_experiment(self):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit):
+            runner.main(["bogus"])

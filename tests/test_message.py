@@ -1,0 +1,76 @@
+"""Tests for message types, specs and transactions."""
+
+import pytest
+
+from repro.protocol.chains import GENERIC_MSI
+from repro.protocol.message import (
+    Message,
+    MessageSpec,
+    NetClass,
+    count_messages,
+)
+
+M1 = GENERIC_MSI.type_named("m1")
+M2 = GENERIC_MSI.type_named("m2")
+M4 = GENERIC_MSI.type_named("m4")
+
+
+class TestMessageType:
+    def test_flit_lengths_follow_table2(self):
+        assert M1.flits == 4
+        assert M4.flits == 20
+
+    def test_net_classes(self):
+        assert M1.net_class == NetClass.REQUEST
+        assert M4.net_class == NetClass.REPLY
+
+    def test_backoff_flag(self):
+        assert GENERIC_MSI.backoff.is_backoff
+        assert not M1.is_backoff
+
+
+class TestMessageSpec:
+    def test_chain_length_linear(self):
+        leaf = MessageSpec(M4, 0)
+        mid = MessageSpec(M2, 1, (leaf,))
+        assert leaf.chain_length() == 1
+        assert mid.chain_length() == 2
+
+    def test_chain_length_branching_takes_max(self):
+        deep = MessageSpec(M2, 1, (MessageSpec(M4, 0),))
+        shallow = MessageSpec(M4, 0)
+        root = MessageSpec(M1, 2, (deep, shallow))
+        assert root.chain_length() == 3
+
+    def test_count_messages(self):
+        leaf = MessageSpec(M4, 0)
+        root = MessageSpec(M1, 2, (MessageSpec(M2, 1, (leaf,)), MessageSpec(M4, 3)))
+        assert count_messages(root) == 4
+        assert count_messages(root.continuation) == 3
+
+
+class TestMessage:
+    def test_size_defaults_to_type_flits(self):
+        msg = Message(M4, src=0, dst=1)
+        assert msg.size == 20
+
+    def test_size_override(self):
+        msg = Message(M4, src=0, dst=1, size=7)
+        assert msg.size == 7
+
+    def test_terminating_iff_no_continuation(self):
+        assert Message(M4, 0, 1).is_terminating
+        m = Message(M1, 0, 1, continuation=(MessageSpec(M4, 0),))
+        assert not m.is_terminating
+        assert m.chain_length() == 2
+
+    def test_uids_unique(self):
+        a, b = Message(M1, 0, 1), Message(M1, 0, 1)
+        assert a.uid != b.uid
+
+    def test_initial_network_state(self):
+        m = Message(M1, 0, 1)
+        assert m.flits_sent == 0 and m.flits_ejected == 0
+        assert m.injected_cycle == -1 and m.delivered_cycle == -1
+        assert m.crossed_mask == 0
+        assert not m.has_reservation

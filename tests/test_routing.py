@@ -1,0 +1,207 @@
+"""Tests for VC maps and routing functions, incl. escape acyclicity."""
+
+import networkx as nx
+import pytest
+
+from repro.network.routing import (
+    RoutingFunction,
+    duato_routing,
+    duato_vc_map,
+    partitioned_vc_map,
+    tfar_vc_map,
+    dimension_order_routing,
+)
+from repro.network.topology import Torus, ring
+from repro.protocol.chains import GENERIC_MSI
+from repro.protocol.message import Message
+from repro.util.errors import ConfigurationError
+
+M1 = GENERIC_MSI.type_named("m1")
+
+
+class TestVcMapPartitioning:
+    def test_sa_16vc_4types_split_availability(self):
+        # Paper: "three of the sixteen virtual channels are available for
+        # routing of each message type for SA" (Figure 10 discussion).
+        m = partitioned_vc_map(16, 4, shared_extras=False)
+        assert all(m.availability(c) == 3 for c in range(4))
+
+    def test_sa_16vc_4types_shared_availability(self):
+        # "...or nine [21]".
+        m = partitioned_vc_map(16, 4, shared_extras=True)
+        assert all(m.availability(c) == 9 for c in range(4))
+
+    def test_dr_16vc_availability(self):
+        # "...seven (or 13 [21]) are available for DR".
+        assert all(partitioned_vc_map(16, 2).availability(c) == 7 for c in (0, 1))
+        m = partitioned_vc_map(16, 2, shared_extras=True)
+        assert all(m.availability(c) == 13 for c in (0, 1))
+
+    def test_sa_8vc_pat100_availability(self):
+        # "three of the eight virtual channels ... for PAT100" (Fig 9).
+        assert partitioned_vc_map(8, 2).availability(0) == 3
+
+    def test_minimum_channels_enforced(self):
+        # SA with chain length 4 needs E_m = 8 channels.
+        with pytest.raises(ConfigurationError):
+            partitioned_vc_map(4, 4)
+
+    def test_exact_minimum_is_escape_only(self):
+        m = partitioned_vc_map(8, 4)
+        assert all(m.adaptive[c] == () for c in range(4))
+        assert all(m.availability(c) == 1 for c in range(4))
+
+    def test_partitions_disjoint_when_split(self):
+        m = partitioned_vc_map(12, 3)
+        seen = set()
+        for cls in range(3):
+            vcs = set(m.escape[cls]) | set(m.adaptive[cls])
+            assert not (vcs & seen)
+            seen |= vcs
+        assert seen == set(range(12))
+
+    def test_shared_extras_shared_by_all(self):
+        m = partitioned_vc_map(10, 2, shared_extras=True)
+        assert m.adaptive[0] == m.adaptive[1] == tuple(range(4, 10))
+
+    def test_tfar_all_adaptive(self):
+        m = tfar_vc_map(4)
+        assert m.escape == (None,)
+        assert m.adaptive[0] == (0, 1, 2, 3)
+        assert m.availability(0) == 4
+
+    def test_classes_of_vc(self):
+        m = partitioned_vc_map(8, 2, shared_extras=True)
+        assert m.classes_of_vc(0) == [0]
+        assert m.classes_of_vc(5) == [0, 1]  # shared extra
+
+
+def _escape_cdg(topology: Torus) -> nx.DiGraph:
+    """Channel dependency graph of the escape (DOR + dateline) function.
+
+    Nodes are (link id, escape class); edges connect consecutive escape
+    hops of every (src, dst) dimension-order path.  Acyclicity of this
+    graph is the Dally-Seitz condition for routing deadlock freedom.
+    """
+    g = nx.DiGraph()
+    for src in range(topology.num_routers):
+        for dst in range(topology.num_routers):
+            if src == dst:
+                continue
+            crossed = 0
+            prev = None
+            for link in topology.dor_path(src, dst):
+                cls = 1 if (link.crosses_dateline or (crossed >> link.dim) & 1) else 0
+                if link.crosses_dateline:
+                    crossed |= 1 << link.dim
+                node = (link.lid, cls)
+                g.add_node(node)
+                if prev is not None:
+                    g.add_edge(prev, node)
+                prev = node
+    return g
+
+
+class TestEscapeAcyclicity:
+    @pytest.mark.parametrize("dims", [(4,), (5,), (8,), (4, 4), (3, 5), (2, 2, 2)])
+    def test_dor_dateline_escape_is_acyclic(self, dims):
+        g = _escape_cdg(Torus(dims))
+        assert nx.is_directed_acyclic_graph(g)
+
+
+class _FakeFabricVcs:
+    """Minimal link_vcs binding for routing-function unit tests."""
+
+    def __init__(self, topology, num_vcs, depth=2):
+        from repro.network.channel import VirtualChannel
+
+        self.link_vcs = [
+            [VirtualChannel(link, i, depth) for i in range(num_vcs)]
+            for link in topology.links
+        ]
+
+
+class TestRoutingFunctions:
+    def _setup(self, dims=(4, 4), num_vcs=4, kind="duato"):
+        topo = Torus(dims)
+        if kind == "duato":
+            rf = duato_routing(topo, duato_vc_map(num_vcs))
+        elif kind == "dor":
+            rf = dimension_order_routing(topo, partitioned_vc_map(num_vcs, num_vcs // 2))
+        else:
+            from repro.network.routing import true_fully_adaptive_routing
+
+            rf = true_fully_adaptive_routing(topo, tfar_vc_map(num_vcs))
+        fake = _FakeFabricVcs(topo, num_vcs)
+        rf.bind(fake.link_vcs)
+        return topo, rf
+
+    def test_dor_single_candidate(self):
+        topo = Torus((4, 4))
+        rf = dimension_order_routing(topo, partitioned_vc_map(4, 2))
+        rf.bind(_FakeFabricVcs(topo, 4).link_vcs)
+        msg = Message(M1, 0, 5)
+        msg.vc_class = 0
+        cands = rf.candidates(0, topo.router_id((2, 1)), msg)
+        assert len(cands) == 1
+        assert cands[0].link.dim == 0  # lowest dimension first
+
+    def test_dor_requires_escape(self):
+        topo = Torus((4, 4))
+        with pytest.raises(ConfigurationError):
+            dimension_order_routing(topo, tfar_vc_map(4))
+
+    def test_duato_offers_adaptive_then_escape(self):
+        topo, rf = self._setup()
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        dst = topo.router_id((1, 1))
+        cands = rf.candidates(0, dst, msg)
+        # 2 productive links x 2 adaptive VCs + 1 escape.
+        assert len(cands) == 5
+        esc = cands[-1]
+        assert esc.index in (0, 1)
+
+    def test_adaptive_candidates_exclude_owned(self):
+        topo, rf = self._setup()
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        dst = topo.router_id((2, 2))
+        for vc in rf.adaptive_candidates(0, dst, msg):
+            vc.owner = msg  # occupy all
+        assert rf.adaptive_candidates(0, dst, msg) == []
+
+    def test_escape_class_flips_after_dateline(self):
+        topo = ring(4)
+        rf = dimension_order_routing(topo, partitioned_vc_map(2, 1))
+        rf.bind(_FakeFabricVcs(topo, 2).link_vcs)
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        # Router 3 -> 0 crosses the dateline: class 1.
+        vc = rf.escape_candidate(3, 0, msg)
+        assert vc.index == 1
+        # Plain hop 1 -> 2: class 0.
+        vc = rf.escape_candidate(1, 2, msg)
+        assert vc.index == 0
+        # After a previous crossing the class stays 1.
+        msg.crossed_mask = 1
+        vc = rf.escape_candidate(1, 2, msg)
+        assert vc.index == 1
+
+    def test_tfar_has_no_escape(self):
+        topo, rf = self._setup(kind="tfar")
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        assert rf.escape_candidate(0, 5, msg) is None
+        cands = rf.candidates(0, topo.router_id((1, 1)), msg)
+        assert all(vc.owner is None for vc in cands)
+
+    def test_candidates_sorted_by_occupancy(self):
+        topo, rf = self._setup()
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        dst = topo.router_id((2, 2))
+        cands = rf.adaptive_candidates(0, dst, msg)
+        cands[0].fifo.append((0, 0))  # make the first one fuller
+        re_sorted = rf.adaptive_candidates(0, dst, msg)
+        assert len(re_sorted[0].fifo) <= len(re_sorted[-1].fifo)

@@ -1,0 +1,72 @@
+"""Tests for the circulating token."""
+
+import pytest
+
+from repro.core.token import Stop, Token, default_ring
+from repro.network.topology import Torus
+from repro.util.errors import SimulationError
+
+
+class TestRing:
+    def test_default_ring_visits_routers_and_nis(self):
+        topo = Torus((2, 2), bristling=2)
+        stops = default_ring(topo)
+        routers = [s for s in stops if s.kind == "router"]
+        nis = [s for s in stops if s.kind == "ni"]
+        assert len(routers) == 4
+        assert len(nis) == 8  # "the circulating token must also visit all NIs"
+        # NIs follow their router.
+        assert stops[0] == Stop("router", 0)
+        assert stops[1] == Stop("ni", 0)
+        assert stops[2] == Stop("ni", 1)
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(SimulationError):
+            Token([])
+
+
+class TestTokenStateMachine:
+    def setup_method(self):
+        self.token = Token(default_ring(Torus((2, 2))))
+
+    def test_advances_one_stop_per_cycle(self):
+        first = self.token.at
+        nxt = self.token.advance()
+        assert nxt != first or len(self.token.stops) == 1
+
+    def test_laps_counted(self):
+        n = len(self.token.stops)
+        for _ in range(n):
+            self.token.advance()
+        assert self.token.laps == 1
+
+    def test_capture_release_cycle(self):
+        stop = self.token.advance()
+        self.token.capture(stop)
+        assert self.token.state == Token.HELD
+        assert self.token.holder == stop
+        assert self.token.captures == 1
+        self.token.release(at_stop=stop)
+        assert self.token.state == Token.CIRCULATING
+        assert self.token.holder is None
+
+    def test_release_positions_token(self):
+        target = self.token.stops[3]
+        self.token.capture(self.token.at)
+        self.token.release(at_stop=target)
+        assert self.token.at == target
+
+    def test_single_holder_invariant(self):
+        stop = self.token.at
+        self.token.capture(stop)
+        with pytest.raises(SimulationError):
+            self.token.capture(stop)
+
+    def test_cannot_advance_held_token(self):
+        self.token.capture(self.token.at)
+        with pytest.raises(SimulationError):
+            self.token.advance()
+
+    def test_cannot_release_free_token(self):
+        with pytest.raises(SimulationError):
+            self.token.release()

@@ -1,0 +1,147 @@
+"""Unit tests for k-ary n-cube topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import Torus, ring
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_router_and_node_counts(self):
+        t = Torus((8, 8))
+        assert t.num_routers == 64
+        assert t.num_nodes == 64
+
+    def test_bristling_multiplies_nodes(self):
+        t = Torus((2, 4), bristling=2)
+        assert t.num_routers == 8
+        assert t.num_nodes == 16
+
+    def test_link_count_2d(self):
+        t = Torus((4, 4))
+        # 2 dims x 2 directions x 16 routers unidirectional links.
+        assert len(t.links) == 4 * 16
+
+    def test_link_count_ring(self):
+        t = ring(6)
+        assert len(t.links) == 12  # 6 routers x 2 directions
+
+    def test_degenerate_dimension_has_no_links(self):
+        t = Torus((1,))
+        assert len(t.links) == 0
+
+    def test_k2_has_parallel_links(self):
+        t = Torus((2,))
+        # Both +1 and -1 links exist between the two routers.
+        assert len(t.links) == 4
+        assert {(l.src, l.dst) for l in t.links} == {(0, 1), (1, 0)}
+
+    @pytest.mark.parametrize("bad", [(), (0,), (4, -1)])
+    def test_invalid_dims_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            Torus(bad)
+
+    def test_invalid_bristling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Torus((4,), bristling=0)
+
+
+class TestCoordinates:
+    def test_roundtrip_all_routers(self):
+        t = Torus((3, 4, 5))
+        for r in range(t.num_routers):
+            assert t.router_id(t.coords(r)) == r
+
+    def test_coords_row_major(self):
+        t = Torus((2, 3))
+        assert t.coords(0) == (0, 0)
+        assert t.coords(1) == (0, 1)
+        assert t.coords(3) == (1, 0)
+
+    def test_router_of_node_with_bristling(self):
+        t = Torus((2, 2), bristling=4)
+        assert t.router_of_node(0) == 0
+        assert t.router_of_node(3) == 0
+        assert t.router_of_node(4) == 1
+        assert list(t.nodes_of_router(1)) == [4, 5, 6, 7]
+
+
+class TestLinks:
+    def test_out_links_indexed_by_dim_dir(self):
+        t = Torus((4, 4))
+        link = t.out_link(0, 0, +1)
+        assert link.src == 0
+        assert t.coords(link.dst) == (1, 0)
+
+    def test_in_links_match_out_links(self):
+        t = Torus((4, 4))
+        for r in range(t.num_routers):
+            for link in t.out_links(r):
+                assert link in t.in_links(link.dst)
+
+    def test_dateline_marking(self):
+        t = ring(4)
+        crossing = [l for l in t.links if l.crosses_dateline]
+        # One crossing link per direction per ring.
+        assert len(crossing) == 2
+        plus = next(l for l in crossing if l.direction == +1)
+        assert t.coords(plus.src) == (3,) and t.coords(plus.dst) == (0,)
+
+
+class TestRouting:
+    def test_productive_directions_minimal(self):
+        t = Torus((8, 8))
+        dirs = t.productive_directions(0, t.router_id((3, 6)))
+        assert (0, +1, 3) in dirs
+        assert (1, -1, 2) in dirs  # 6 is closer backwards on a ring of 8
+        assert len(dirs) == 2
+
+    def test_productive_directions_tie_gives_both(self):
+        t = ring(4)
+        dirs = t.productive_directions(0, 2)
+        assert len(dirs) == 2
+        assert {d for _, d, _ in dirs} == {+1, -1}
+
+    def test_min_hops_symmetric(self):
+        t = Torus((5, 3))
+        for a in range(t.num_routers):
+            for b in range(t.num_routers):
+                assert t.min_hops(a, b) == t.min_hops(b, a)
+
+    def test_dor_path_is_minimal(self):
+        t = Torus((4, 4))
+        for a in range(t.num_routers):
+            for b in range(t.num_routers):
+                path = t.dor_path(a, b)
+                assert len(path) == t.min_hops(a, b)
+                cur = a
+                for link in path:
+                    assert link.src == cur
+                    cur = link.dst
+                assert cur == b
+
+    def test_dor_path_orders_dimensions(self):
+        t = Torus((4, 4))
+        path = t.dor_path(0, t.router_id((2, 2)))
+        dims = [l.dim for l in path]
+        assert dims == sorted(dims)
+
+
+class TestAnalysis:
+    def test_networkx_export(self):
+        t = Torus((3, 3))
+        g = t.to_networkx()
+        assert g.number_of_nodes() == 9
+        assert g.number_of_edges() == len(t.links)
+        assert nx.is_strongly_connected(nx.DiGraph(g))
+
+    def test_uniform_capacity_8x8(self):
+        # 8x8 torus: bisection-limited to 1.0 flit/node/cycle.
+        assert Torus((8, 8)).uniform_capacity() == pytest.approx(1.0)
+
+    def test_uniform_capacity_capped_by_injection(self):
+        assert Torus((2, 2)).uniform_capacity() == 1.0
+
+    def test_capacity_of_single_router(self):
+        assert Torus((1,)).uniform_capacity() == 1.0

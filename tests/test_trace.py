@@ -1,0 +1,98 @@
+"""Tests for trace records, serialization and trace-driven traffic."""
+
+import pytest
+
+from repro import SimConfig
+from repro.protocol.chains import MSI_COHERENCE
+from repro.protocol.coherence import DirectoryMSI
+from repro.sim.engine import Engine
+from repro.traffic.trace import (
+    TraceRecord,
+    TraceTraffic,
+    read_trace,
+    trace_couplings,
+    write_trace,
+)
+from repro.util.errors import ConfigurationError
+
+MSI_TYPES = ("RQ", "FRQ", "FRP", "RP")
+
+
+class TestRecords:
+    def test_op_validated(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecord(0, 0, "X", 1)
+
+    def test_roundtrip(self, tmp_path):
+        recs = [TraceRecord(5, 1, "R", 42), TraceRecord(9, 0, "W", 7)]
+        path = tmp_path / "t.trace"
+        write_trace(path, recs)
+        assert read_trace(path) == recs
+
+    def test_read_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\n1 0 R 3\n")
+        assert read_trace(path) == [TraceRecord(1, 0, "R", 3)]
+
+
+def build_engine(records, **cfg):
+    coherence = DirectoryMSI(16)
+    traffic = TraceTraffic(records, coherence)
+    defaults = dict(dims=(4, 4), scheme="NONE", num_vcs=4, load=0.0)
+    defaults.update(cfg)
+    engine = Engine(
+        SimConfig(**defaults),
+        traffic=traffic,
+        protocol=MSI_COHERENCE,
+        types_used=MSI_TYPES,
+        couplings=trace_couplings(),
+    )
+    return engine, traffic, coherence
+
+
+class TestTraceTraffic:
+    def test_replay_injects_transactions(self):
+        recs = [TraceRecord(1, 0, "R", 3), TraceRecord(2, 1, "R", 3)]
+        engine, traffic, coh = build_engine(recs)
+        engine.run(300)
+        assert traffic.generated == 2
+        assert traffic.exhausted
+        assert engine.stats.total.transactions_completed == 2
+
+    def test_local_hits_generate_no_traffic(self):
+        recs = [TraceRecord(1, 0, "R", 3), TraceRecord(2, 0, "R", 3)]
+        engine, traffic, coh = build_engine(recs)
+        engine.run(300)
+        assert traffic.generated == 1
+        assert coh.local_hits == 1
+
+    def test_respects_record_timing(self):
+        recs = [TraceRecord(100, 0, "R", 3)]
+        engine, traffic, _ = build_engine(recs)
+        engine.run(50)
+        assert traffic.generated == 0
+        engine.run(100)
+        assert traffic.generated == 1
+
+    def test_node_count_mismatch_rejected(self):
+        coherence = DirectoryMSI(4)  # != 16 nodes
+        traffic = TraceTraffic([], coherence)
+        with pytest.raises(ConfigurationError):
+            Engine(
+                SimConfig(dims=(4, 4), scheme="NONE", load=0.0),
+                traffic=traffic,
+                protocol=MSI_COHERENCE,
+                types_used=MSI_TYPES,
+                couplings=trace_couplings(),
+            )
+
+    def test_forwarding_transaction_completes_end_to_end(self):
+        recs = [TraceRecord(1, 0, "W", 3), TraceRecord(2, 1, "R", 3)]
+        engine, traffic, coh = build_engine(recs)
+        engine.run(1000)
+        assert engine.stats.total.transactions_completed == 2
+        assert engine.quiesce()
+
+    def test_couplings_cover_protocol(self):
+        c = trace_couplings()
+        assert ("RQ", "FRQ") in c and ("FRQ", "FRP") in c

@@ -1,0 +1,40 @@
+"""Tests for RNG determinism and error types."""
+
+from repro.util import ConfigurationError, SimulationError, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42, "traffic")
+        b = make_rng(42, "traffic")
+        assert a.integers(0, 1 << 30, 10).tolist() == b.integers(
+            0, 1 << 30, 10
+        ).tolist()
+
+    def test_different_salts_differ(self):
+        a = make_rng(42, "traffic")
+        b = make_rng(42, "arbiter")
+        assert a.integers(0, 1 << 30, 10).tolist() != b.integers(
+            0, 1 << 30, 10
+        ).tolist()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1, "x")
+        b = make_rng(2, "x")
+        assert a.integers(0, 1 << 30, 10).tolist() != b.integers(
+            0, 1 << 30, 10
+        ).tolist()
+
+    def test_salt_hash_is_stable_across_processes(self):
+        # CRC32-based mixing: the first draw for a known (seed, salt) pair
+        # must never change, or saved experiment seeds become unreproducible.
+        rng = make_rng(1, "traffic")
+        first = int(rng.integers(0, 1 << 30))
+        rng2 = make_rng(1, "traffic")
+        assert int(rng2.integers(0, 1 << 30)) == first
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(SimulationError, RuntimeError)
