@@ -16,8 +16,6 @@ Run:  python examples/coherence_traces.py [fft|lu|radix|water] [duration]
 
 import sys
 
-import numpy as np
-
 from repro.experiments.fig6_load_rates import simulate_app
 from repro.traffic.splash import APP_MODELS
 

@@ -18,16 +18,17 @@ Quickstart::
           window.mean_latency())
 """
 
-from repro.config import SimConfig
+from repro.config import ExecutionConfig, SimConfig
+from repro.protocol.chains import GENERIC_MSI, GENERIC_ORIGIN, MSI_COHERENCE
+from repro.protocol.transactions import PATTERNS
 from repro.sim.engine import Engine
 from repro.sim.results import RunResult, SweepResult, burton_normal_form
 from repro.sim.sweep import run_point, run_sweep
-from repro.protocol.transactions import PATTERNS
-from repro.protocol.chains import GENERIC_MSI, GENERIC_ORIGIN, MSI_COHERENCE
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionConfig",
     "SimConfig",
     "Engine",
     "RunResult",

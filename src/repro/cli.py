@@ -20,9 +20,10 @@ import argparse
 import json
 import sys
 
-from repro.config import SimConfig
+from repro.config import ExecutionConfig, SimConfig
 from repro.sim.analysis import format_breakdown
 from repro.sim.engine import Engine
+from repro.sim.parallel import DEFAULT_CACHE_DIR
 from repro.sim.sweep import run_sweep
 
 
@@ -41,6 +42,31 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--shared-extras", action="store_true")
     p.add_argument("--recovery-policy", default="minimum",
                    choices=["minimum", "drain"])
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _add_execution_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="worker processes for sweep points (1 = serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk result cache")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="result cache location (default: %(default)s)")
+
+
+def _execution(args) -> ExecutionConfig:
+    return ExecutionConfig(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=True,
+    )
 
 
 def _config(args, load: float) -> SimConfig:
@@ -85,6 +111,7 @@ def cmd_sweep(args) -> int:
         warmup=args.warmup,
         measure=args.measure,
         stop_past_saturation=not args.no_early_stop,
+        execution=_execution(args),
     )
     print(f"{'load':>8s} {'thr(fpc)':>9s} {'latency':>9s} {'deadlocks':>10s}")
     for p in sweep.points:
@@ -101,8 +128,11 @@ def cmd_sweep(args) -> int:
 def cmd_experiments(args) -> int:
     from repro.experiments import runner
 
-    runner.main([args.scale, *args.names])
-    return 0
+    argv = [args.scale, *args.names, f"--workers={args.workers}",
+            f"--cache-dir={args.cache_dir}"]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return runner.main(argv)
 
 
 def cmd_trace(args) -> int:
@@ -136,12 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measure", type=int, default=5000)
     p.add_argument("--no-early-stop", action="store_true")
     p.add_argument("--json", help="write the sweep result to a JSON file")
+    _add_execution_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("experiments", help="regenerate tables/figures")
     p.add_argument("scale", nargs="?", default="smoke",
                    choices=["smoke", "paper"])
     p.add_argument("names", nargs="*")
+    _add_execution_args(p)
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser("trace", help="generate a synthetic app trace")

@@ -105,3 +105,30 @@ class SimConfig:
     def with_(self, **kwargs) -> "SimConfig":
         """A modified copy (convenience for sweeps)."""
         return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How sweep points are *executed* (not what they simulate).
+
+    Kept separate from :class:`SimConfig` so that execution knobs —
+    worker count, caching, progress reporting — can never change a
+    result or leak into a cache key.
+    """
+
+    #: worker processes; 1 = run in-process (serial).
+    workers: int = 1
+    #: consult/populate the on-disk result cache.
+    use_cache: bool = True
+    #: cache directory (created on first write).
+    cache_dir: str = ".repro_cache"
+    #: extra attempts for a crashed point before it is reported.
+    retries: int = 1
+    #: emit a progress line (points done/total, ETA, cache hits).
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be positive")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be non-negative")

@@ -1,5 +1,7 @@
 """Core: deadlock detection and the SA/DR/PR handling schemes."""
 
+from repro.core.cwg import build_wait_for_graph, detect_deadlock, find_knots
+from repro.core.detection import DetectorPair, build_detectors
 from repro.core.schemes import (
     SCHEMES,
     DeflectiveRecovery,
@@ -10,9 +12,7 @@ from repro.core.schemes import (
     build_scheme,
     walk_specs,
 )
-from repro.core.detection import DetectorPair, build_detectors
 from repro.core.token import Stop, Token, build_ring, default_ring, routers_first_ring
-from repro.core.cwg import build_wait_for_graph, detect_deadlock, find_knots
 
 __all__ = [
     "Scheme",

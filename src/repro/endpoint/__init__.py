@@ -1,7 +1,7 @@
 """Endpoint substrate: NI queues, memory controller, network interface."""
 
-from repro.endpoint.queues import MessageQueue, QueueBank
 from repro.endpoint.controller import MemoryController
 from repro.endpoint.interface import NetworkInterface
+from repro.endpoint.queues import MessageQueue, QueueBank
 
 __all__ = ["MessageQueue", "QueueBank", "MemoryController", "NetworkInterface"]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import SimConfig
+from repro.config import ExecutionConfig, SimConfig
 from repro.sim.results import SweepResult
 from repro.sim.sweep import run_sweep
 
@@ -56,9 +56,15 @@ def sweep_scheme(
     scale: Scale,
     seed: int = 1,
     queue_mode: str = "auto",
+    execution: ExecutionConfig | None = None,
     **config_kwargs,
 ) -> SweepResult:
-    """One Burton-Normal-Form curve for a (scheme, pattern, C) cell."""
+    """One Burton-Normal-Form curve for a (scheme, pattern, C) cell.
+
+    ``execution`` (workers, caching, progress) defaults to the
+    process-wide policy installed by the CLI/runner; see
+    :mod:`repro.sim.parallel`.
+    """
     config = SimConfig(
         scheme=scheme,
         pattern=pattern,
@@ -70,7 +76,12 @@ def sweep_scheme(
     loads = load_grid(scale, MAX_LOAD_BY_VCS.get(num_vcs, 0.02))
     label = f"{scheme}{'-QA' if queue_mode == 'per-type' else ''}/{pattern}/{num_vcs}vc"
     return run_sweep(
-        config, loads, warmup=scale.warmup, measure=scale.measure, label=label
+        config,
+        loads,
+        warmup=scale.warmup,
+        measure=scale.measure,
+        label=label,
+        execution=execution,
     )
 
 

@@ -92,7 +92,7 @@ def main(scale: str = "smoke") -> None:
     rows = run(scale)
     labels = ["<5%", "5-10%", "10-15%", "15-20%", "20-30%", ">30%"]
     print("\n== Figure 6: load rate distributions (fraction of time) ==")
-    print(f"{'App':8s} {'mean':>6s} {'max':>6s}  " + "  ".join(f"{l:>7s}" for l in labels))
+    print(f"{'App':8s} {'mean':>6s} {'max':>6s}  " + "  ".join(f"{lab:>7s}" for lab in labels))
     for app, row in rows.items():
         bands = "  ".join(f"{v*100:6.1f}%" for v in row["bands"])
         print(f"{app:8s} {row['mean']*100:5.1f}% {row['max']*100:5.1f}%  {bands}")

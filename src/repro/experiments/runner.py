@@ -2,18 +2,27 @@
 
 Usage::
 
-    python -m repro.experiments.runner [smoke|paper] [exp ...]
+    python -m repro.experiments.runner [smoke|paper] [exp ...] \\
+        [--workers N] [--no-cache] [--cache-dir DIR]
 
 With no experiment names, all of them run in order.  ``paper`` scale
-uses the paper's 30,000-cycle measurement windows and takes hours;
+uses the paper's 30,000-cycle measurement windows and takes hours
+serially; ``--workers N`` fans sweep points across N processes, and the
+on-disk result cache (on by default, see :mod:`repro.sim.parallel`)
+lets an interrupted paper-scale run resume instead of restarting.
 ``smoke`` (default) finishes in minutes.
+
+Exits non-zero on an unknown argument or a failed experiment, so CI
+smoke jobs fail loudly when regeneration breaks.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+import traceback
 
+from repro.config import ExecutionConfig
 from repro.experiments import (
     ablations,
     fig6_load_rates,
@@ -25,6 +34,7 @@ from repro.experiments import (
     table3_distributions,
     trace_deadlocks,
 )
+from repro.sim.parallel import DEFAULT_CACHE_DIR, set_default_execution
 
 EXPERIMENTS = {
     "table1": table1_responses,
@@ -39,25 +49,68 @@ EXPERIMENTS = {
 }
 
 
-def main(argv: list[str] | None = None) -> None:
-    argv = sys.argv[1:] if argv is None else argv
+def parse_args(argv: list[str]) -> tuple[str, list[str], ExecutionConfig]:
+    """Split argv into (scale, experiment names, execution policy)."""
     scale = "smoke"
-    names = []
-    for arg in argv:
+    names: list[str] = []
+    workers = 1
+    use_cache = True
+    cache_dir = DEFAULT_CACHE_DIR
+    it = iter(argv)
+    for arg in it:
         if arg in ("smoke", "paper"):
             scale = arg
         elif arg in EXPERIMENTS:
             names.append(arg)
+        elif arg == "--no-cache":
+            use_cache = False
+        elif arg == "--workers" or arg.startswith("--workers="):
+            value = arg.partition("=")[2] if "=" in arg else next(it, None)
+            if value is None or not value.isdigit() or int(value) < 1:
+                raise SystemExit("--workers needs a positive integer")
+            workers = int(value)
+        elif arg == "--cache-dir" or arg.startswith("--cache-dir="):
+            value = arg.partition("=")[2] if "=" in arg else next(it, None)
+            if not value:
+                raise SystemExit("--cache-dir needs a path")
+            cache_dir = value
         else:
             raise SystemExit(
                 f"unknown argument {arg!r}; experiments: {sorted(EXPERIMENTS)}"
             )
-    names = names or list(EXPERIMENTS)
-    for name in names:
-        t0 = time.time()
-        EXPERIMENTS[name].main(scale)
-        print(f"[{name} done in {time.time() - t0:.1f}s]")
+    execution = ExecutionConfig(
+        workers=workers,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        progress=True,
+    )
+    return scale, names or list(EXPERIMENTS), execution
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    scale, names, execution = parse_args(argv)
+    previous = set_default_execution(execution)
+    failed: list[str] = []
+    try:
+        for name in names:
+            t0 = time.time()
+            try:
+                EXPERIMENTS[name].main(scale)
+            except Exception:
+                traceback.print_exc()
+                print(f"[{name} FAILED after {time.time() - t0:.1f}s]",
+                      file=sys.stderr)
+                failed.append(name)
+            else:
+                print(f"[{name} done in {time.time() - t0:.1f}s]")
+    finally:
+        set_default_execution(previous)
+    if failed:
+        print(f"failed experiments: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,7 +1,7 @@
 """Network substrate: topology, channels, routing, flit movement."""
 
-from repro.network.topology import Link, Torus, ring
 from repro.network.channel import EjectionPort, InjectionChannel, VirtualChannel
+from repro.network.fabric import Fabric
 from repro.network.routing import (
     ESCAPE_PER_NETWORK,
     RoutingFunction,
@@ -13,7 +13,7 @@ from repro.network.routing import (
     tfar_vc_map,
     true_fully_adaptive_routing,
 )
-from repro.network.fabric import Fabric
+from repro.network.topology import Link, Torus, ring
 
 __all__ = [
     "Link",

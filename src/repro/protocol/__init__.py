@@ -1,5 +1,12 @@
 """Protocol layer: message types, dependency chains, transactions, coherence."""
 
+from repro.protocol.chains import (
+    GENERIC_MSI,
+    GENERIC_ORIGIN,
+    MSI_COHERENCE,
+    PROTOCOLS,
+    Protocol,
+)
 from repro.protocol.message import (
     Message,
     MessageSpec,
@@ -7,13 +14,6 @@ from repro.protocol.message import (
     NetClass,
     Transaction,
     count_messages,
-)
-from repro.protocol.chains import (
-    GENERIC_MSI,
-    GENERIC_ORIGIN,
-    MSI_COHERENCE,
-    PROTOCOLS,
-    Protocol,
 )
 from repro.protocol.transactions import (
     PAT100,

@@ -146,7 +146,7 @@ class TransactionPattern:
     # Sampling
     # ------------------------------------------------------------------
     def sample_chain_length(self, rng: np.random.Generator) -> int:
-        lengths = [l for l, _ in self.length_probs]
+        lengths = [length for length, _ in self.length_probs]
         probs = [p for _, p in self.length_probs]
         return int(rng.choice(lengths, p=probs))
 

@@ -1,27 +1,41 @@
-"""Simulation engine, statistics, results and sweeps."""
+"""Simulation engine, statistics, results, sweeps and parallel execution."""
 
-from repro.sim.engine import Engine
-from repro.sim.stats import SimStats, WindowCounters
-from repro.sim.results import RunResult, SweepResult, burton_normal_form
-from repro.sim.sweep import run_point, run_sweep
 from repro.sim.analysis import (
     OccupancyMonitor,
     format_breakdown,
     run_with_monitor,
     type_breakdown,
 )
+from repro.sim.engine import Engine
+from repro.sim.parallel import (
+    ResultCache,
+    code_version,
+    get_default_execution,
+    point_key,
+    run_points,
+    set_default_execution,
+)
+from repro.sim.results import RunResult, SweepResult, burton_normal_form
+from repro.sim.stats import SimStats, WindowCounters
+from repro.sim.sweep import run_point, run_sweep
 
 __all__ = [
     "Engine",
-    "SimStats",
-    "WindowCounters",
-    "RunResult",
-    "SweepResult",
-    "burton_normal_form",
-    "run_point",
-    "run_sweep",
     "OccupancyMonitor",
-    "type_breakdown",
+    "ResultCache",
+    "RunResult",
+    "SimStats",
+    "SweepResult",
+    "WindowCounters",
+    "burton_normal_form",
+    "code_version",
     "format_breakdown",
+    "get_default_execution",
+    "point_key",
+    "run_point",
+    "run_points",
+    "run_sweep",
     "run_with_monitor",
+    "set_default_execution",
+    "type_breakdown",
 ]

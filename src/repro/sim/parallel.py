@@ -1,0 +1,254 @@
+"""Parallel sweep-point execution with an on-disk result cache.
+
+Every (config, load) point of a sweep is independent and deterministic
+— the engine derives all randomness from ``config.seed`` via
+:func:`repro.util.rng.make_rng` — so points can fan out across a
+:class:`~concurrent.futures.ProcessPoolExecutor` and still produce
+results bit-identical to a serial run.  :func:`run_points` is the single
+entry point: ordered result collection, a retry for crashed workers
+(reported with their config via
+:class:`~repro.util.errors.SweepExecutionError`, never silently
+dropped), and a keyed JSON cache under ``.repro_cache/`` so interrupted
+paper-scale runs resume instead of restarting.
+
+Cache keys cover the full :class:`~repro.config.SimConfig`, the
+warmup/measure window *and* a digest of the package sources
+(:func:`code_version`), so editing the simulator invalidates stale
+results automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+from repro.config import ExecutionConfig, SimConfig
+from repro.sim.results import RunResult
+from repro.util.errors import SweepExecutionError
+from repro.util.progress import ProgressReporter
+
+#: default location of the on-disk result cache.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+PointFn = Callable[[SimConfig, int, int], RunResult]
+
+#: process-wide execution policy; the library default is the legacy
+#: behaviour (serial, no cache) so tests and benchmarks are unaffected.
+#: The CLI and experiment runner install their own via
+#: :func:`set_default_execution`.
+_default_execution = ExecutionConfig(workers=1, use_cache=False)
+
+
+def get_default_execution() -> ExecutionConfig:
+    """The execution policy used when a caller does not pass one."""
+    return _default_execution
+
+
+def set_default_execution(execution: ExecutionConfig) -> ExecutionConfig:
+    """Install a new process-wide policy; returns the previous one."""
+    global _default_execution
+    previous = _default_execution
+    _default_execution = execution
+    return previous
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the ``repro`` package sources, for cache invalidation."""
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def point_key(config: SimConfig, warmup: int, measure: int,
+              code: str | None = None) -> str:
+    """Stable cache key for one (config, warmup, measure) point."""
+    payload = {
+        "config": asdict(config),
+        "warmup": int(warmup),
+        "measure": int(measure),
+        "code": code if code is not None else code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Keyed on-disk store of :class:`RunResult`s, one JSON file each.
+
+    Writes are atomic (temp file + rename) so concurrent workers — or an
+    interrupted run — can never leave a half-written entry behind; a
+    corrupt or unreadable file simply reads as a miss.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> RunResult | None:
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            result = RunResult(**payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, config: SimConfig, warmup: int, measure: int,
+            result: RunResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "code": code_version(),
+            "config": asdict(config),
+            "warmup": int(warmup),
+            "measure": int(measure),
+            "result": result.to_dict(),
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str, indent=1)
+        tmp = self.path_for(key).with_suffix(".tmp")
+        tmp.write_text(blob, "utf-8")
+        tmp.replace(self.path_for(key))
+
+
+def _timed(point_fn: PointFn, config: SimConfig, warmup: int,
+           measure: int) -> tuple[RunResult, float]:
+    """Worker-side wrapper adding per-point wall-clock timing."""
+    start = time.monotonic()
+    result = point_fn(config, warmup, measure)
+    return result, time.monotonic() - start
+
+
+def _default_point_fn() -> PointFn:
+    from repro.sim.sweep import run_point
+
+    return run_point
+
+
+def run_points(
+    configs: Sequence[SimConfig],
+    warmup: int,
+    measure: int,
+    workers: int = 1,
+    *,
+    cache: ResultCache | None = None,
+    retries: int = 1,
+    point_fn: PointFn | None = None,
+    reporter: ProgressReporter | None = None,
+) -> list[RunResult]:
+    """Run every config's point, fanned across ``workers`` processes.
+
+    Results come back in the order of ``configs`` regardless of
+    completion order.  Cached points are returned without touching the
+    engine; executed points are written back to ``cache``.  A point
+    whose worker raises (or whose pool dies underneath it) is retried up
+    to ``retries`` more times; if it still fails, the whole batch raises
+    :class:`SweepExecutionError` naming each failed config — successful
+    points of the batch stay in the cache, so a rerun resumes.
+    """
+    configs = list(configs)
+    if point_fn is None:
+        point_fn = _default_point_fn()
+    if reporter is None:
+        reporter = ProgressReporter(total=len(configs), enabled=False)
+
+    results: list[RunResult | None] = [None] * len(configs)
+    keys: list[str | None] = [None] * len(configs)
+    jobs: dict[int, SimConfig] = {}
+    for idx, config in enumerate(configs):
+        if cache is not None:
+            keys[idx] = point_key(config, warmup, measure)
+            hit = cache.get(keys[idx])
+            if hit is not None:
+                results[idx] = hit
+                reporter.update(cached=True)
+                continue
+        jobs[idx] = config
+
+    failures: dict[int, tuple[SimConfig, BaseException]] = {}
+
+    def record(idx: int, result: RunResult, elapsed: float) -> None:
+        results[idx] = result
+        if cache is not None:
+            cache.put(keys[idx], configs[idx], warmup, measure, result)
+        reporter.update(elapsed=elapsed)
+
+    if not jobs:
+        pass
+    elif workers <= 1 or len(jobs) == 1:
+        _run_serial(point_fn, jobs, warmup, measure, retries, record, failures)
+    else:
+        _run_parallel(point_fn, jobs, warmup, measure, workers, retries,
+                      record, failures)
+
+    if failures:
+        for _ in failures:
+            reporter.update(failed=True)
+        raise SweepExecutionError(failures)
+    return results  # type: ignore[return-value]
+
+
+def _run_serial(point_fn, jobs, warmup, measure, retries, record,
+                failures) -> None:
+    for idx, config in jobs.items():
+        for attempt in range(retries + 1):
+            try:
+                result, elapsed = _timed(point_fn, config, warmup, measure)
+            except Exception as exc:
+                if attempt == retries:
+                    failures[idx] = (config, exc)
+            else:
+                record(idx, result, elapsed)
+                break
+
+
+def _run_parallel(point_fn, jobs, warmup, measure, workers, retries, record,
+                  failures) -> None:
+    pending = dict(jobs)
+    attempts = dict.fromkeys(jobs, 0)
+    while pending:
+        round_jobs = dict(pending)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(round_jobs))
+            ) as pool:
+                futures = {
+                    pool.submit(_timed, point_fn, config, warmup, measure): idx
+                    for idx, config in round_jobs.items()
+                }
+                for future in as_completed(futures):
+                    idx = futures[future]
+                    attempts[idx] += 1
+                    exc = future.exception()
+                    if exc is None:
+                        result, elapsed = future.result()
+                        record(idx, result, elapsed)
+                        del pending[idx]
+                    elif attempts[idx] > retries:
+                        failures[idx] = (round_jobs[idx], exc)
+                        del pending[idx]
+                    # else: left pending — retried with a fresh pool.
+        except BrokenProcessPool as exc:
+            # The pool itself died (e.g. a worker was killed) before all
+            # futures resolved; charge an attempt to what's left.
+            for idx in list(pending):
+                attempts[idx] += 1
+                if attempts[idx] > retries:
+                    failures[idx] = (pending.pop(idx), exc)

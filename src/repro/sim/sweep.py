@@ -5,15 +5,23 @@ measurement, as in the paper: "each run lasts for 30,000 simulation
 cycles beyond steady state") and records a
 :class:`~repro.sim.results.RunResult`.  A sweep can stop early once the
 network is clearly past saturation to save time.
+
+Points are dispatched through :mod:`repro.sim.parallel`, so a sweep can
+fan out across worker processes and reuse cached results while staying
+bit-identical to a serial run: early stopping is preserved by dispatching
+loads in worker-sized chunks, lowest loads first, and truncating the
+curve at the same point a serial sweep would.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.config import SimConfig
+from repro.config import ExecutionConfig, SimConfig
 from repro.sim.engine import Engine
+from repro.sim.parallel import ResultCache, get_default_execution, run_points
 from repro.sim.results import RunResult, SweepResult
+from repro.util.progress import ProgressReporter
 
 
 def run_point(config: SimConfig, warmup: int, measure: int) -> RunResult:
@@ -50,24 +58,51 @@ def run_sweep(
     measure: int = 10000,
     label: str | None = None,
     stop_past_saturation: bool = True,
+    execution: ExecutionConfig | None = None,
 ) -> SweepResult:
     """Run ``config`` across the applied loads, lowest first.
 
     With ``stop_past_saturation`` the sweep ends once delivered
     throughput drops noticeably below its running maximum — i.e. "a
     point just beyond saturation" (Section 4.3.1).
+
+    ``execution`` controls workers, caching and progress; when omitted
+    the process-wide default applies
+    (:func:`repro.sim.parallel.get_default_execution`).  Points computed
+    past an early stop by a parallel chunk are cached but excluded from
+    the curve, so the returned points match a serial sweep exactly.
     """
+    execution = execution or get_default_execution()
     label = label or f"{config.scheme}/{config.pattern}/{config.num_vcs}vc"
+    cache = ResultCache(execution.cache_dir) if execution.use_cache else None
+    reporter = ProgressReporter(
+        total=len(loads), label=label, enabled=execution.progress
+    )
     sweep = SweepResult(label=label)
     best = 0.0
-    for load in sorted(loads):
-        point = run_point(config.with_(load=load), warmup, measure)
-        sweep.points.append(point)
-        best = max(best, point.throughput_fpc)
-        if (
-            stop_past_saturation
-            and len(sweep.points) >= 3
-            and point.throughput_fpc < 0.9 * best
-        ):
-            break
+    ordered = sorted(loads)
+    chunk = max(1, execution.workers)
+    try:
+        for start in range(0, len(ordered), chunk):
+            batch = ordered[start:start + chunk]
+            points = run_points(
+                [config.with_(load=load) for load in batch],
+                warmup,
+                measure,
+                workers=execution.workers,
+                cache=cache,
+                retries=execution.retries,
+                reporter=reporter,
+            )
+            for point in points:
+                sweep.points.append(point)
+                best = max(best, point.throughput_fpc)
+                if (
+                    stop_past_saturation
+                    and len(sweep.points) >= 3
+                    and point.throughput_fpc < 0.9 * best
+                ):
+                    return sweep
+    finally:
+        reporter.finish()
     return sweep

@@ -1,6 +1,18 @@
-"""Shared utilities: seeded RNG helpers and validation errors."""
+"""Shared utilities: seeded RNG helpers, progress lines, errors."""
 
+from repro.util.errors import (
+    ConfigurationError,
+    SimulationError,
+    SweepExecutionError,
+)
+from repro.util.progress import ProgressReporter, format_eta
 from repro.util.rng import make_rng
-from repro.util.errors import ConfigurationError, SimulationError
 
-__all__ = ["make_rng", "ConfigurationError", "SimulationError"]
+__all__ = [
+    "ConfigurationError",
+    "ProgressReporter",
+    "SimulationError",
+    "SweepExecutionError",
+    "format_eta",
+    "make_rng",
+]

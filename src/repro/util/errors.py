@@ -19,3 +19,24 @@ class SimulationError(RuntimeError):
     These indicate bugs, never user error: e.g. a flit arriving into a full
     buffer, a message delivered twice, or two simultaneous token holders.
     """
+
+
+class SweepExecutionError(RuntimeError):
+    """One or more sweep points kept failing after their retry budget.
+
+    Raised by :func:`repro.sim.parallel.run_points` so a crashed worker is
+    reported with its configuration instead of silently dropping the
+    point.  ``failures`` maps the failed point's index in the submitted
+    batch to ``(config, exception)``.
+    """
+
+    def __init__(self, failures: dict) -> None:
+        self.failures = failures
+        lines = [f"{len(failures)} sweep point(s) failed after retries:"]
+        for idx in sorted(failures):
+            config, exc = failures[idx]
+            lines.append(
+                f"  point {idx}: scheme={config.scheme} pattern={config.pattern}"
+                f" vcs={config.num_vcs} load={config.load}: {exc!r}"
+            )
+        super().__init__("\n".join(lines))

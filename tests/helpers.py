@@ -9,8 +9,6 @@ deflect and PR must rescue.
 
 from __future__ import annotations
 
-import pytest
-
 from repro import SimConfig
 from repro.protocol.message import Message
 from repro.sim.engine import Engine

@@ -1,14 +1,11 @@
 """Tests for per-type breakdowns and the coupling monitor."""
 
-import pytest
-
-from tests.helpers import build_engine
 from repro.sim.analysis import (
-    OccupancyMonitor,
     format_breakdown,
     run_with_monitor,
     type_breakdown,
 )
+from tests.helpers import build_engine
 
 
 class TestTypeBreakdown:

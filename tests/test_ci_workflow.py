@@ -1,0 +1,50 @@
+"""The CI pipeline definition must stay valid and cover the right steps."""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text("utf-8"))
+
+
+class TestWorkflow:
+    def test_parses_and_has_jobs(self, workflow):
+        assert workflow["name"] == "CI"
+        # YAML 1.1 reads the `on:` trigger key as boolean True.
+        triggers = workflow.get("on", workflow.get(True))
+        assert "pull_request" in triggers and "push" in triggers
+        assert set(workflow["jobs"]) == {"lint", "test", "smoke-benchmark"}
+
+    def test_python_matrix(self, workflow):
+        matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+        assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+    def test_lint_runs_ruff(self, workflow):
+        steps = workflow["jobs"]["lint"]["steps"]
+        assert any("ruff check" in (s.get("run") or "") for s in steps)
+
+    def test_test_job_runs_pytest_with_src_on_path(self, workflow):
+        steps = workflow["jobs"]["test"]["steps"]
+        run_step = next(
+            s for s in steps if "python -m pytest" in (s.get("run") or "")
+        )
+        assert run_step["env"]["PYTHONPATH"] == "src"
+
+    def test_smoke_job_exercises_runner_and_parallel_sweep(self, workflow):
+        steps = workflow["jobs"]["smoke-benchmark"]["steps"]
+        runs = " ".join(s.get("run") or "" for s in steps)
+        assert "repro.experiments.runner smoke table1" in runs
+        assert "--workers 4" in runs
+
+    def test_gitignore_covers_generated_dirs(self):
+        gitignore = (WORKFLOW.parents[2] / ".gitignore").read_text("utf-8")
+        for entry in ("*.egg-info/", "__pycache__/", ".pytest_cache/",
+                      ".hypothesis/", ".benchmarks/", ".repro_cache/"):
+            assert entry in gitignore

@@ -41,7 +41,7 @@ class TestCommands:
         rc = main([
             "sweep", "--dims", "4x4", "--loads", "0.002,0.004",
             "--warmup", "200", "--measure", "400", "--json", str(path),
-            "--no-early-stop",
+            "--no-early-stop", "--cache-dir", str(tmp_path / "cache"),
         ])
         assert rc == 0
         data = json.loads(path.read_text())

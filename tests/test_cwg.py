@@ -1,11 +1,10 @@
 """Tests for channel wait-for graph construction and knot detection."""
 
 import networkx as nx
-import pytest
 
-from tests.helpers import build_engine, stall_endpoint
 from repro.core.cwg import build_wait_for_graph, detect_deadlock, find_knots
 from repro.protocol.transactions import PAT721
+from tests.helpers import build_engine, stall_endpoint
 
 
 class TestFindKnots:

@@ -1,9 +1,7 @@
 """Tests for DR's Origin2000-style backoff deflection."""
 
-import pytest
-
-from tests.helpers import build_engine, stall_endpoint
 from repro.protocol.transactions import PAT280, PAT721
+from tests.helpers import build_engine, stall_endpoint
 
 
 def stall_home(engine, home, length=3, pattern=PAT721):

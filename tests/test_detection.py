@@ -1,10 +1,8 @@
 """Tests for the three-condition endpoint deadlock detector."""
 
-import pytest
-
-from tests.helpers import build_engine, stall_endpoint
 from repro.core.detection import DetectorPair, build_detectors
 from repro.protocol.transactions import PAT721
+from tests.helpers import build_engine, stall_endpoint
 
 
 def fresh_detector(engine, node, in_cls=0, out_cls=0, threshold=25,

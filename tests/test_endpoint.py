@@ -1,7 +1,5 @@
 """Tests for the memory controller and network interface."""
 
-import pytest
-
 from repro import SimConfig
 from repro.protocol.chains import GENERIC_MSI
 from repro.protocol.message import Message, MessageSpec

@@ -2,10 +2,10 @@
 
 import pytest
 
-from tests.helpers import build_engine
 from repro import SimConfig
 from repro.sim.engine import Engine
 from repro.util.errors import ConfigurationError
+from tests.helpers import build_engine
 
 
 class TestConstruction:

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments import SCALES, Scale
+from repro.experiments import (
+    SCALES,
+    Scale,
+    table1_responses,
+    table3_distributions,
+)
 from repro.experiments.common import (
     MAX_LOAD_BY_VCS,
     get_scale,
@@ -10,7 +15,6 @@ from repro.experiments.common import (
     sweep_scheme,
 )
 from repro.experiments.figures import valid_schemes
-from repro.experiments import table1_responses, table3_distributions
 
 TINY = Scale("tiny", warmup=300, measure=600, sweep_points=2,
              trace_duration=6000)
@@ -28,7 +32,7 @@ class TestScales:
     def test_load_grid(self):
         grid = load_grid(TINY, 0.01)
         assert grid == [0.005, 0.01]
-        assert all(l <= MAX_LOAD_BY_VCS[4] for l in load_grid(TINY, 0.016))
+        assert all(x <= MAX_LOAD_BY_VCS[4] for x in load_grid(TINY, 0.016))
 
 
 class TestValidSchemes:
@@ -81,3 +85,62 @@ class TestCharacterizationExperiments:
 
         with pytest.raises(SystemExit):
             runner.main(["bogus"])
+
+
+class TestRunnerCli:
+    def test_unknown_experiment_exits_nonzero(self):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["bogus"])
+        assert excinfo.value.code not in (0, None)
+
+    def test_failed_experiment_returns_nonzero(self, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        class Broken:
+            @staticmethod
+            def main(scale):
+                raise RuntimeError("regeneration broke")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", Broken)
+        assert runner.main(["table1"]) == 1
+        assert "table1" in capsys.readouterr().err
+
+    def test_successful_run_returns_zero(self, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        class Fine:
+            @staticmethod
+            def main(scale):
+                print(f"ran at {scale}")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "table1", Fine)
+        assert runner.main(["paper", "table1"]) == 0
+        assert "ran at paper" in capsys.readouterr().out
+
+    def test_parse_args_execution_flags(self):
+        from repro.experiments import runner
+
+        scale, names, execution = runner.parse_args(
+            ["paper", "fig8", "--workers", "4", "--no-cache",
+             "--cache-dir=/tmp/alt"]
+        )
+        assert scale == "paper" and names == ["fig8"]
+        assert execution.workers == 4
+        assert execution.use_cache is False
+        assert execution.cache_dir == "/tmp/alt"
+
+    def test_parse_args_defaults(self):
+        from repro.experiments import runner
+
+        scale, names, execution = runner.parse_args([])
+        assert scale == "smoke"
+        assert names == list(runner.EXPERIMENTS)
+        assert execution.workers == 1 and execution.use_cache is True
+
+    def test_parse_args_rejects_bad_workers(self):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit):
+            runner.parse_args(["--workers", "zero"])

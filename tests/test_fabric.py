@@ -1,10 +1,8 @@
 """Tests for the flit-movement engine using a bare fabric harness."""
 
-import pytest
-
 from repro.network.fabric import Fabric
 from repro.network.routing import duato_routing, duato_vc_map
-from repro.network.topology import Torus, ring
+from repro.network.topology import Torus
 from repro.protocol.chains import GENERIC_MSI
 from repro.protocol.message import Message
 

@@ -6,13 +6,10 @@ assertions are deliberately coarse (orderings and large margins, not
 absolute values).
 """
 
-import pytest
-
-from tests.helpers import build_engine
 from repro import SimConfig
 from repro.core.token import Token
-from repro.sim.engine import Engine
 from repro.sim.sweep import run_point
+from tests.helpers import build_engine
 
 
 class TestStressBehaviour:

@@ -1,7 +1,5 @@
 """Tests for message types, specs and transactions."""
 
-import pytest
-
 from repro.protocol.chains import GENERIC_MSI
 from repro.protocol.message import (
     Message,

@@ -1,0 +1,217 @@
+"""Tests for repro.sim.parallel: equivalence, caching, crash handling."""
+
+import functools
+import io
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.config import ExecutionConfig, SimConfig
+from repro.sim import parallel
+from repro.sim.parallel import ResultCache, point_key, run_points
+from repro.sim.sweep import run_point, run_sweep
+from repro.util.errors import SweepExecutionError
+from repro.util.progress import ProgressReporter, format_eta
+
+WARMUP = 100
+MEASURE = 200
+LOADS = (0.002, 0.004, 0.006)
+
+
+def tiny_config(load: float = 0.004, **kwargs) -> SimConfig:
+    return SimConfig(dims=(4, 4), load=load, **kwargs)
+
+
+def tiny_configs(loads=LOADS) -> list[SimConfig]:
+    return [tiny_config(load) for load in loads]
+
+
+# --- module-level point functions so they pickle into worker processes ---
+
+def _boom(config, warmup, measure):
+    raise RuntimeError("engine must not execute")
+
+
+def _counting_point(counter_dir, config, warmup, measure):
+    """Real run_point, recording one file per invocation."""
+    fd, _ = tempfile.mkstemp(prefix=f"load{config.load}-", dir=counter_dir)
+    os.close(fd)
+    return run_point(config, warmup, measure)
+
+
+def _flaky_point(marker_dir, config, warmup, measure):
+    """Crashes on the first attempt per load, succeeds on the retry."""
+    marker = os.path.join(marker_dir, f"ran-{config.load}")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("1")
+        raise RuntimeError(f"injected crash at load {config.load}")
+    return run_point(config, warmup, measure)
+
+
+def counting_fn(tmp_path, name="counter"):
+    counter_dir = tmp_path / name
+    counter_dir.mkdir(exist_ok=True)
+    return functools.partial(_counting_point, str(counter_dir)), counter_dir
+
+
+class TestSerialParallelEquivalence:
+    def test_run_points_bit_identical(self):
+        configs = tiny_configs()
+        serial = run_points(configs, WARMUP, MEASURE, workers=1)
+        fanned = run_points(configs, WARMUP, MEASURE, workers=4)
+        assert serial == fanned
+
+    def test_results_follow_input_order(self):
+        scrambled = tiny_configs((0.006, 0.002, 0.004))
+        results = run_points(scrambled, WARMUP, MEASURE, workers=3)
+        assert [r.load for r in results] == [0.006, 0.002, 0.004]
+
+    def test_run_sweep_matches_serial(self):
+        config = tiny_config()
+        serial = run_sweep(config, LOADS, warmup=WARMUP, measure=MEASURE)
+        fanned = run_sweep(
+            config, LOADS, warmup=WARMUP, measure=MEASURE,
+            execution=ExecutionConfig(workers=4, use_cache=False),
+        )
+        assert serial.points == fanned.points
+        assert serial.label == fanned.label
+
+
+class TestResultCache:
+    def test_second_invocation_runs_zero_engines(self, tmp_path):
+        configs = tiny_configs()
+        cache = ResultCache(tmp_path / "cache")
+        first = run_points(configs, WARMUP, MEASURE, workers=4, cache=cache)
+        # _boom would crash any executed point: everything must come from disk.
+        again = run_points(configs, WARMUP, MEASURE, workers=4, cache=cache,
+                           point_fn=_boom)
+        assert again == first
+        assert cache.hits == len(configs)
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        configs = tiny_configs()
+        cache = ResultCache(tmp_path / "cache")
+        serial = run_points(configs, WARMUP, MEASURE, workers=1, cache=cache)
+        fanned = run_points(configs, WARMUP, MEASURE, workers=3, cache=cache,
+                            point_fn=_boom)
+        assert serial == fanned
+
+    def test_key_depends_on_window_and_config(self):
+        base = point_key(tiny_config(), WARMUP, MEASURE)
+        assert point_key(tiny_config(), WARMUP + 1, MEASURE) != base
+        assert point_key(tiny_config(), WARMUP, MEASURE + 1) != base
+        assert point_key(tiny_config(seed=2), WARMUP, MEASURE) != base
+        assert point_key(tiny_config(), WARMUP, MEASURE) == base
+
+    def test_changed_window_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_points(tiny_configs(), WARMUP, MEASURE, cache=cache)
+        with pytest.raises(SweepExecutionError):
+            run_points(tiny_configs(), WARMUP, MEASURE + 50, cache=cache,
+                       point_fn=_boom, retries=0)
+
+    def test_code_version_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        counting, counter_dir = counting_fn(tmp_path)
+        run_points(tiny_configs(), WARMUP, MEASURE, cache=cache,
+                   point_fn=counting)
+        assert len(list(counter_dir.iterdir())) == len(LOADS)
+        monkeypatch.setattr(parallel, "code_version", lambda: "different")
+        run_points(tiny_configs(), WARMUP, MEASURE, cache=cache,
+                   point_fn=counting)
+        assert len(list(counter_dir.iterdir())) == 2 * len(LOADS)
+
+    def test_corrupt_entry_is_a_miss_and_repaired(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        [result] = run_points([tiny_config()], WARMUP, MEASURE, cache=cache)
+        key = point_key(tiny_config(), WARMUP, MEASURE)
+        cache.path_for(key).write_text("{not json", "utf-8")
+        [again] = run_points([tiny_config()], WARMUP, MEASURE, cache=cache)
+        assert again == result
+        payload = json.loads(cache.path_for(key).read_text("utf-8"))
+        assert payload["result"]["load"] == tiny_config().load
+
+    def test_interrupted_run_resumes(self, tmp_path):
+        """Failed batch keeps its completed points; the rerun finishes them."""
+        cache = ResultCache(tmp_path / "cache")
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        flaky = functools.partial(_flaky_point, str(marker_dir))
+        with pytest.raises(SweepExecutionError):
+            run_points(tiny_configs(), WARMUP, MEASURE, cache=cache,
+                       point_fn=flaky, retries=0)
+        assert cache.hits == 0
+        counting, counter_dir = counting_fn(tmp_path)
+        resumed = run_points(tiny_configs(), WARMUP, MEASURE, cache=cache,
+                             point_fn=counting)
+        # Every point either came from cache or ran exactly once now.
+        executed = len(list(counter_dir.iterdir()))
+        assert cache.hits + executed == len(LOADS)
+        assert resumed == run_points(tiny_configs(), WARMUP, MEASURE)
+
+
+class TestCrashHandling:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_crashed_point_is_retried_once(self, tmp_path, workers):
+        marker_dir = tmp_path / f"markers{workers}"
+        marker_dir.mkdir()
+        flaky = functools.partial(_flaky_point, str(marker_dir))
+        results = run_points(tiny_configs(), WARMUP, MEASURE, workers=workers,
+                             point_fn=flaky, retries=1)
+        assert results == run_points(tiny_configs(), WARMUP, MEASURE)
+        # one crash marker per load: each point failed once, then succeeded
+        assert len(list(marker_dir.iterdir())) == len(LOADS)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_persistent_crash_reports_config(self, workers):
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_points(tiny_configs(), WARMUP, MEASURE, workers=workers,
+                       point_fn=_boom, retries=1)
+        message = str(excinfo.value)
+        assert "load=0.004" in message and "scheme=PR" in message
+        assert len(excinfo.value.failures) == len(LOADS)
+
+
+class TestExecutionConfig:
+    def test_validation(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(retries=-1)
+
+    def test_default_execution_round_trip(self):
+        previous = parallel.get_default_execution()
+        override = ExecutionConfig(workers=2, use_cache=False)
+        assert parallel.set_default_execution(override) is previous
+        try:
+            assert parallel.get_default_execution() is override
+        finally:
+            parallel.set_default_execution(previous)
+
+
+class TestProgressReporter:
+    def test_non_tty_lines(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=3, label="PR/x", stream=stream)
+        reporter.update(elapsed=1.0)
+        reporter.update(cached=True)
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("PR/x [1/3]")
+        assert "1 cached" in lines[1]
+
+    def test_disabled_is_silent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, stream=stream, enabled=False)
+        reporter.update()
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_format_eta(self):
+        assert format_eta(75) == "1:15"
+        assert format_eta(3725) == "1:02:05"

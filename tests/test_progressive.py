@@ -2,13 +2,13 @@
 
 import pytest
 
-from tests.helpers import block_injection, build_engine, deliver_direct, stall_endpoint
 from repro.core.progressive import DmbSource, ProgressiveController, RecoveryLane
 from repro.core.token import Token
 from repro.network.topology import Torus
 from repro.protocol.chains import GENERIC_MSI
-from repro.protocol.message import Message, MessageSpec
+from repro.protocol.message import Message
 from repro.protocol.transactions import PAT721
+from tests.helpers import block_injection, build_engine, stall_endpoint
 
 M1 = GENERIC_MSI.type_named("m1")
 M2 = GENERIC_MSI.type_named("m2")

@@ -1,15 +1,14 @@
 """Property-based tests (hypothesis) on core structures and invariants."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.cwg import find_knots
 from repro.network.routing import partitioned_vc_map, tfar_vc_map
 from repro.network.topology import Torus
-from repro.protocol.message import MessageSpec, count_messages
 from repro.protocol.chains import GENERIC_MSI
+from repro.protocol.message import MessageSpec, count_messages
 from repro.util.errors import ConfigurationError
 
 dims_strategy = st.lists(st.integers(2, 6), min_size=1, max_size=3).map(tuple)

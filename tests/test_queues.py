@@ -1,6 +1,5 @@
 """Tests for NI message queues and reservation accounting."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

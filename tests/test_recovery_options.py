@@ -2,12 +2,12 @@
 
 import pytest
 
-from tests.helpers import build_engine, stall_endpoint
 from repro import SimConfig
 from repro.core.token import Stop, build_ring, default_ring, routers_first_ring
 from repro.network.topology import Torus
 from repro.protocol.transactions import PAT721
 from repro.util.errors import ConfigurationError
+from tests.helpers import build_engine, stall_endpoint
 
 
 def stall_home(engine, home):

@@ -4,12 +4,11 @@ import networkx as nx
 import pytest
 
 from repro.network.routing import (
-    RoutingFunction,
+    dimension_order_routing,
     duato_routing,
     duato_vc_map,
     partitioned_vc_map,
     tfar_vc_map,
-    dimension_order_routing,
 )
 from repro.network.topology import Torus, ring
 from repro.protocol.chains import GENERIC_MSI

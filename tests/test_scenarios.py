@@ -4,13 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from tests.helpers import block_injection, build_engine, stall_endpoint
 from repro import SimConfig
 from repro.core.token import Token
 from repro.protocol.chains import GENERIC_MSI
 from repro.protocol.message import Message, MessageSpec, Transaction
-from repro.protocol.transactions import PAT100, PAT721
+from repro.protocol.transactions import PAT721
 from repro.sim.engine import Engine
+from tests.helpers import build_engine, stall_endpoint
 
 M1 = GENERIC_MSI.type_named("m1")
 M2 = GENERIC_MSI.type_named("m2")

@@ -35,7 +35,7 @@ class TestConstruction:
         t = Torus((2,))
         # Both +1 and -1 links exist between the two routers.
         assert len(t.links) == 4
-        assert {(l.src, l.dst) for l in t.links} == {(0, 1), (1, 0)}
+        assert {(k.src, k.dst) for k in t.links} == {(0, 1), (1, 0)}
 
     @pytest.mark.parametrize("bad", [(), (0,), (4, -1)])
     def test_invalid_dims_rejected(self, bad):
@@ -82,10 +82,10 @@ class TestLinks:
 
     def test_dateline_marking(self):
         t = ring(4)
-        crossing = [l for l in t.links if l.crosses_dateline]
+        crossing = [k for k in t.links if k.crosses_dateline]
         # One crossing link per direction per ring.
         assert len(crossing) == 2
-        plus = next(l for l in crossing if l.direction == +1)
+        plus = next(k for k in crossing if k.direction == +1)
         assert t.coords(plus.src) == (3,) and t.coords(plus.dst) == (0,)
 
 
@@ -124,7 +124,7 @@ class TestRouting:
     def test_dor_path_orders_dimensions(self):
         t = Torus((4, 4))
         path = t.dor_path(0, t.router_id((2, 2)))
-        dims = [l.dim for l in path]
+        dims = [hop.dim for hop in path]
         assert dims == sorted(dims)
 
 
