@@ -1,0 +1,166 @@
+"""Benchmark report: measured cycles/second for the tracked scenarios.
+
+Runs the same engine scenarios as ``test_engine_speed.py`` with a plain
+timer (warm-up, then best-of-N timed windows) and writes
+``BENCH_engine.json`` — cycles/sec per scenario plus machine info and
+the git revision — so the repository carries a performance trajectory
+over time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/report.py              # full run
+    PYTHONPATH=src python benchmarks/report.py --smoke      # CI subset
+    PYTHONPATH=src python benchmarks/report.py --check BENCH_engine.json
+
+``--check`` compares a fresh measurement against a previously written
+report and exits non-zero if any shared scenario regressed by more than
+``--tolerance`` (default 30%), which is what the CI benchmark job
+enforces against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import SimConfig
+from repro.sim.engine import Engine
+
+#: name -> engine kwargs.  Matches benchmarks/test_engine_speed.py.
+SCENARIOS = {
+    "PR_light_load": dict(scheme="PR", load=0.004),
+    "DR_light_load": dict(scheme="DR", load=0.004),
+    "NONE_light_load": dict(scheme="NONE", load=0.004),
+    "PR_saturated": dict(scheme="PR", load=0.014),
+    "DR_saturated": dict(scheme="DR", load=0.014),
+    "PR_16vc": dict(scheme="PR", load=0.012, num_vcs=16),
+}
+
+#: Fast subset for CI smoke runs.
+SMOKE_SCENARIOS = ("PR_light_load", "PR_saturated")
+
+WARMUP_CYCLES = 500
+MEASURE_CYCLES = 400
+
+
+def measure_scenario(name: str, *, rounds: int = 3) -> float:
+    """Best-of-``rounds`` cycles/second for one scenario."""
+    kw = dict(SCENARIOS[name])
+    engine = Engine(SimConfig(pattern="PAT721", seed=3, **kw))
+    engine.run(WARMUP_CYCLES)
+    best = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        engine.run(MEASURE_CYCLES)
+        elapsed = time.perf_counter() - t0
+        best = max(best, MEASURE_CYCLES / elapsed)
+    return best
+
+
+def git_sha() -> str:
+    cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        if out.returncode != 0:
+            return "unknown"
+        sha = out.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            sha += "-dirty"
+        return sha
+    except OSError:
+        return "unknown"
+
+
+def machine_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "processor": platform.processor() or "unknown",
+    }
+
+
+def build_report(names, rounds: int) -> dict:
+    results = {}
+    for name in names:
+        cps = measure_scenario(name, rounds=rounds)
+        results[name] = round(cps, 1)
+        print(f"{name:>18}: {cps:>8.0f} cycles/sec", file=sys.stderr)
+    return {
+        "schema": 1,
+        "git_sha": git_sha(),
+        "machine": machine_info(),
+        "warmup_cycles": WARMUP_CYCLES,
+        "measure_cycles": MEASURE_CYCLES,
+        "cycles_per_second": results,
+    }
+
+
+def check_regression(report: dict, baseline_path: Path, tolerance: float) -> int:
+    """Exit status: 0 if no shared scenario regressed beyond tolerance.
+
+    Absolute cycles/sec varies by machine, so the check is only
+    meaningful when baseline and measurement ran on comparable hardware
+    (in CI: the same runner class as the checked-in baseline).
+    """
+    baseline = json.loads(baseline_path.read_text("utf-8"))
+    base_results = baseline.get("cycles_per_second", {})
+    failures = []
+    for name, measured in report["cycles_per_second"].items():
+        base = base_results.get(name)
+        if not base:
+            continue
+        ratio = measured / base
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+        print(f"{name:>18}: {measured:>8.0f} vs baseline {base:>8.0f} "
+              f"({ratio:.2f}x) {status}", file=sys.stderr)
+        if ratio < 1.0 - tolerance:
+            failures.append(name)
+    if failures:
+        print(f"regression beyond {tolerance:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the fast CI scenario subset")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed rounds per scenario (best is kept)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_engine.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a baseline report; exit 1 on "
+                             "regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional slowdown in --check mode")
+    args = parser.parse_args(argv)
+
+    names = SMOKE_SCENARIOS if args.smoke else tuple(SCENARIOS)
+    report = build_report(names, rounds=args.rounds)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", "utf-8")
+    print(f"wrote {args.output}", file=sys.stderr)
+    if args.check is not None:
+        return check_regression(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,9 +22,16 @@ from dataclasses import dataclass, field
 from repro.protocol.message import Message, NetClass
 
 
-@dataclass
+@dataclass(slots=True)
 class DetectorPair:
-    """One (input class, output class) coupling to watch at one NI."""
+    """One (input class, output class) coupling to watch at one NI.
+
+    ``step`` runs for every detector on every cycle, so the queue
+    references are resolved once and the conditions are evaluated
+    cheapest-first (version change, then queue stress, then head
+    eligibility) — the state transitions are identical to evaluating
+    everything up front.
+    """
 
     ni: object
     in_cls: int
@@ -35,6 +42,17 @@ class DetectorPair:
     since: int = -1
     last_version: int = -1
     episode_counted: bool = field(default=False)
+    _in_q: object = field(default=None, init=False, repr=False)
+    _out_q: object = field(default=None, init=False, repr=False)
+    _full_mode: bool = field(default=True, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._in_q = self.ni.in_bank.queue(self.in_cls)
+        self._out_q = self.ni.out_bank.queue(self.out_cls)
+        # The common configuration (threshold >= 1.0) reduces "stressed"
+        # to admission_full; precomputed so step() can inline the slot
+        # arithmetic instead of chaining two property lookups per queue.
+        self._full_mode = self.occupancy_threshold >= 1.0
 
     def _queue_stressed(self, q) -> bool:
         if self.occupancy_threshold >= 1.0:
@@ -51,27 +69,37 @@ class DetectorPair:
         )
 
     def head(self) -> Message | None:
-        return self.ni.in_bank.queue(self.in_cls).peek()
+        return self._in_q.peek()
 
     def step(self, now: int) -> bool:
         """Advance one cycle; return True while the detector is *fired*."""
-        in_q = self.ni.in_bank.queue(self.in_cls)
-        out_q = self.ni.out_bank.queue(self.out_cls)
+        in_q = self._in_q
+        out_q = self._out_q
         version = in_q.version + out_q.version
-        controller = self.ni.controller
-        servicing_here = (
-            controller.current is not None
-            and controller.current_in_cls == self.in_cls
-        )
-        conditions = (
-            not servicing_here  # an in-flight service *is* progress
-            and self._queue_stressed(in_q)
-            and self._queue_stressed(out_q)
-            and self._head_eligible(in_q.peek())
-        )
-        if not conditions or version != self.last_version:
+        if version != self.last_version:
             self.since = now
             self.last_version = version
+            self.episode_counted = False
+            return False
+        controller = self.ni.controller
+        if controller.current is not None and controller.current_in_cls == self.in_cls:
+            conditions = False
+        elif self._full_mode:
+            # Inline _queue_stressed/admission_full/free_slots.
+            conditions = (
+                in_q.capacity - len(in_q.entries) - in_q.held - in_q.reserved <= 0
+                and out_q.capacity - len(out_q.entries) - out_q.held - out_q.reserved
+                <= 0
+                and self._head_eligible(in_q.entries[0] if in_q.entries else None)
+            )
+        else:
+            conditions = (
+                self._queue_stressed(in_q)
+                and self._queue_stressed(out_q)
+                and self._head_eligible(in_q.entries[0] if in_q.entries else None)
+            )
+        if not conditions:
+            self.since = now
             self.episode_counted = False
             return False
         return (now - self.since) > self.threshold

@@ -39,7 +39,6 @@ from dataclasses import dataclass, field
 
 from repro.core.detection import build_detectors
 from repro.core.token import Stop, Token, build_ring
-from repro.network.channel import VirtualChannel
 from repro.protocol.message import Message
 from repro.util.errors import SimulationError
 
@@ -204,8 +203,7 @@ class ProgressiveController:
             msg = s.owner
             if msg is None or s.next_sink is not None or msg.blocked_since < 0:
                 continue
-            at = s.link.dst if isinstance(s, VirtualChannel) else s.router
-            if at != router:
+            if s.router != router:
                 continue
             if now - msg.blocked_since > threshold:
                 if best is None or msg.blocked_since < best_since:
@@ -249,9 +247,7 @@ class ProgressiveController:
         if msg.transaction is not None:
             msg.transaction.rescues += 1
         self.engine.fabric.detach_frontier(sender)
-        src_router = (
-            sender.link.dst if isinstance(sender, VirtualChannel) else sender.router
-        )
+        src_router = sender.router
         dst_router = self.topology.router_of_node(msg.dst)
         self._leg_msg = msg
         self.lane.start(sender, src_router, dst_router, msg)

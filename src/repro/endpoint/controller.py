@@ -94,10 +94,15 @@ class MemoryController:
             self._held_output = []
             self.busy_until = now + self._duration(msg)
             return
-        n = self.in_bank.num_classes
+        queues = self.in_bank.queues
+        n = len(queues)
+        rr = self._rr
         for i in range(n):
-            cls = (self._rr + i) % n
-            if self._try_begin(cls, now):
+            cls = rr + i
+            if cls >= n:
+                cls -= n
+            # Empty-queue fast path: _try_begin would peek None anyway.
+            if queues[cls].entries and self._try_begin(cls, now):
                 self._rr = (cls + 1) % n
                 return
 

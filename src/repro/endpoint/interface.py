@@ -53,6 +53,12 @@ class NetworkInterface:
             node, self.in_bank, self.out_bank, policy, stats
         )
         fabric.set_endpoint_hooks(node, self.try_reserve_delivery, self.deliver)
+        # Injection channels are per-(node, class) singletons; resolve
+        # them once instead of a dict lookup per class per cycle.
+        self._injection_pairs = [
+            (fabric.injection_channel(node, cls), self.out_bank.queue(cls))
+            for cls in range(num_queue_classes)
+        ]
         #: Deadlock message buffer; managed by progressive recovery.
         self.dmb: Message | None = None
 
@@ -77,8 +83,12 @@ class NetworkInterface:
         self.source_queue.append(root)
 
     def step(self, now: int) -> None:
-        self._admit_roots(now)
-        self._load_injection(now)
+        if self.source_queue:
+            self._admit_roots(now)
+        # Inline _load_injection(): runs for every NI every cycle.
+        for chan, queue in self._injection_pairs:
+            if chan.owner is None and queue.entries:
+                self.fabric.start_injection(chan, queue.pop(), now)
         self.controller.step(now)
 
     def _admit_roots(self, now: int) -> None:
@@ -102,16 +112,6 @@ class NetworkInterface:
             out_q.push(root)
             self.outstanding += 1
             self.stats.on_admitted(root, now)
-
-    def _load_injection(self, now: int) -> None:
-        for cls in range(self.out_bank.num_classes):
-            chan = self.fabric.injection_channel(self.node, cls)
-            if chan.idle:
-                queue = self.out_bank.queue(cls)
-                msg = queue.peek()
-                if msg is not None:
-                    queue.pop()
-                    self.fabric.start_injection(chan, msg, now)
 
     def on_transaction_complete(self) -> None:
         """Free the MSHR held by a completed transaction."""

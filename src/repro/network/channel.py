@@ -30,9 +30,15 @@ class VirtualChannel:
     behaviour that deadlock analysis is about.
     """
 
-    __slots__ = ("link", "index", "capacity", "owner", "fifo", "next_sink")
+    __slots__ = ("link", "index", "capacity", "owner", "fifo", "next_sink",
+                 "router", "ledger")
 
-    def __init__(self, link: Link, index: int, capacity: int) -> None:
+    #: Kind flag checked by the fabric's arbitration loop in place of a
+    #: per-sender ``isinstance`` test.
+    is_injection = False
+
+    def __init__(self, link: Link, index: int, capacity: int,
+                 ledger: list[int] | None = None) -> None:
         self.link = link
         self.index = index
         self.capacity = capacity
@@ -42,6 +48,12 @@ class VirtualChannel:
         # Where this packet's flits go after this channel: another
         # VirtualChannel, an EjectionPort, or None while unrouted.
         self.next_sink = None
+        #: Router whose input this channel feeds (the link's downstream
+        #: end) — the packet's "current router" during allocation.
+        self.router = link.dst
+        #: Shared one-cell flit-occupancy counter (the fabric passes one
+        #: ledger to every VC so total occupancy is O(1) to read).
+        self.ledger = [0] if ledger is None else ledger
 
     # -- sink interface -------------------------------------------------
     def has_space(self) -> bool:
@@ -51,6 +63,7 @@ class VirtualChannel:
         if len(self.fifo) >= self.capacity:  # pragma: no cover - guarded
             raise SimulationError(f"flit pushed into full VC {self!r}")
         self.fifo.append((flit_idx, now))
+        self.ledger[0] += 1
 
     # -- sender interface -----------------------------------------------
     def ready_flit(self, now: int) -> int | None:
@@ -66,6 +79,7 @@ class VirtualChannel:
         return None
 
     def pop_flit(self) -> int:
+        self.ledger[0] -= 1
         return self.fifo.popleft()[0]
 
     def release(self) -> None:
@@ -96,6 +110,8 @@ class InjectionChannel:
     """
 
     __slots__ = ("node", "router", "vc_class", "owner", "next_sink")
+
+    is_injection = True
 
     def __init__(self, node: int, router: int, vc_class: int) -> None:
         self.node = node
@@ -156,23 +172,39 @@ class EjectionPort:
 
     def step(self, now: int) -> None:
         """Drain at most one flit this cycle (round-robin among senders)."""
-        n = len(self.senders)
+        senders = self.senders
+        n = len(senders)
         if n == 0:
             return
         start = self._rr % n
         for i in range(n):
-            sender = self.senders[(start + i) % n]
-            flit = sender.ready_flit(now)
-            if flit is None:
-                continue
-            sender.pop_flit()
-            self.flits_drained += 1
+            idx = start + i
+            if idx >= n:
+                idx -= n
+            sender = senders[idx]
             msg = sender.owner
+            # Inline ready_flit()/pop_flit() for both sender kinds (a
+            # VirtualChannel at the destination router, or an injection
+            # channel delivering to a co-located node).
+            if sender.is_injection:
+                flit = msg.flits_sent
+                if flit >= msg.size:
+                    continue
+                msg.flits_sent = flit + 1
+            else:
+                fifo = sender.fifo
+                if not fifo:
+                    continue
+                flit, arrived = fifo[0]
+                if arrived >= now:
+                    continue
+                fifo.popleft()
+                sender.ledger[0] -= 1
+            self.flits_drained += 1
             msg.flits_ejected += 1
             if flit == msg.size - 1:  # tail: message fully delivered
-                finished = sender
-                finished.release()
-                self.senders.remove(finished)
+                sender.release()
+                senders.remove(sender)
                 self.deliver(msg, now)
-            self._rr = (start + i + 1) % max(1, len(self.senders))
+            self._rr = (start + i + 1) % max(1, len(senders))
             return

@@ -43,14 +43,24 @@ class Fabric:
         self.flit_buffer_depth = flit_buffer_depth
         self.routing = routing
 
+        #: one-cell flit-occupancy ledger shared by every VC, so
+        #: :meth:`occupancy` is O(1) instead of an O(links x VCs) scan.
+        self._occ = [0]
         #: link id -> list of VirtualChannel (buffers at the downstream router)
         self.link_vcs: list[list[VirtualChannel]] = [
-            [VirtualChannel(link, i, flit_buffer_depth) for i in range(num_vcs)]
+            [
+                VirtualChannel(link, i, flit_buffer_depth, ledger=self._occ)
+                for i in range(num_vcs)
+            ]
             for link in topology.links
         ]
         routing.bind(self.link_vcs)
 
-        #: link id -> senders currently routed over this link
+        #: link id -> ``(sender, sink_vc, is_injection)`` triples for the
+        #: senders currently routed over this link.  The sink and kind
+        #: flag are fixed for a packet's whole traversal of the link, so
+        #: they are resolved once at allocation instead of per scan in
+        #: the arbitration loop.
         self.link_senders: list[list] = [[] for _ in topology.links]
         self._link_rr: list[int] = [0] * len(topology.links)
         #: links with at least one sender (kept as a set for sparse scans)
@@ -64,12 +74,16 @@ class Fabric:
             EjectionPort(node, self._unwired_deliver)
             for node in range(topology.num_nodes)
         ]
+        #: nodes whose ejection port currently has senders (mirrors
+        #: ``_busy_links`` so the eject phase skips idle ports).
+        self._eject_active: set[int] = set()
         #: per-node reservation hook: try_reserve(msg) -> bool
         self._reserve_hooks = [self._unwired_reserve] * topology.num_nodes
 
         #: (node, vc_class) -> InjectionChannel
         self._inj_channels: dict[tuple[int, int], InjectionChannel] = {}
         self._inj_used = bytearray(topology.num_nodes)
+        self._inj_zero = bytes(topology.num_nodes)
 
         # Statistics
         self.flits_forwarded = 0
@@ -117,6 +131,8 @@ class Fabric:
         chan.load(msg)
         msg.injected_cycle = now
         msg.blocked_since = now
+        if msg.dst_router < 0:
+            msg.dst_router = self.topology.router_of_node(msg.dst)
         self.pending.append(chan)
 
     # ------------------------------------------------------------------
@@ -128,47 +144,57 @@ class Fabric:
         self._phase_links(now)
 
     def _phase_eject(self, now: int) -> None:
-        for port in self.ejection_ports:
-            if port.senders:
-                before = port.flits_drained
-                port.step(now)
-                self.flits_ejected += port.flits_drained - before
+        active = self._eject_active
+        if not active:
+            return
+        ports = self.ejection_ports
+        # Sorted so port service order (and thus stats accumulation order)
+        # matches the historical full scan in node order.
+        for node in sorted(active):
+            port = ports[node]
+            before = port.flits_drained
+            port.step(now)
+            self.flits_ejected += port.flits_drained - before
+            if not port.senders:
+                active.discard(node)
 
     def _phase_allocate(self, now: int) -> None:
-        if not self.pending:
+        pending = self.pending
+        if not pending:
             return
         still: list = []
         topo = self.topology
-        routing = self.routing
-        for sender in self.pending:
+        candidates = self.routing.candidates
+        reserve_hooks = self._reserve_hooks
+        link_senders = self.link_senders
+        busy_add = self._busy_links.add
+        for sender in pending:
             msg = sender.owner
             if msg is None:  # rescued or otherwise detached meanwhile
                 continue
             if sender.next_sink is not None:
                 # A recovery scheme may have routed this sender already.
                 continue
-            cur_router = (
-                sender.link.dst
-                if isinstance(sender, VirtualChannel)
-                else sender.router
-            )
-            dst_router = topo.router_of_node(msg.dst)
-            if cur_router == dst_router:
-                if self._reserve_hooks[msg.dst](msg):
+            dst_router = msg.dst_router
+            if dst_router < 0:  # not injected via start_injection
+                dst_router = msg.dst_router = topo.router_of_node(msg.dst)
+            if sender.router == dst_router:
+                if reserve_hooks[msg.dst](msg):
                     port = self.ejection_ports[msg.dst]
                     sender.next_sink = port
                     port.senders.append(sender)
+                    self._eject_active.add(msg.dst)
                     msg.blocked_since = -1
                     continue
             else:
                 allocated = False
-                for vc in routing.candidates(cur_router, dst_router, msg):
+                for vc in candidates(sender.router, dst_router, msg):
                     if vc.owner is None:
                         vc.owner = msg
                         sender.next_sink = vc
                         lid = vc.link.lid
-                        self.link_senders[lid].append(sender)
-                        self._busy_links.add(lid)
+                        link_senders[lid].append((sender, vc, sender.is_injection))
+                        busy_add(lid)
                         allocated = True
                         break
                 if allocated:
@@ -185,65 +211,93 @@ class Fabric:
         self.pending = still
 
     def _phase_links(self, now: int) -> None:
-        self._inj_used[:] = b"\x00" * len(self._inj_used)
+        """Forward at most one flit per busy link (round-robin arbitration).
+
+        The per-flit bookkeeping of the former ``_move_flit`` helper is
+        inlined here: this loop moves every flit in the system every
+        cycle, and the call overhead of ``has_space``/``ready_flit``/
+        ``pop_flit``/``accept_flit`` dominated the simulator's profile.
+        """
+        inj_used = self._inj_used
+        inj_used[:] = self._inj_zero
+        link_rr = self._link_rr
+        link_senders = self.link_senders
+        pending_append = self.pending.append
+        occ = self._occ
+        forwarded = 0
+        injected = 0
         done_links: list[int] = []
         for lid in self._busy_links:
-            senders = self.link_senders[lid]
+            senders = link_senders[lid]
             n = len(senders)
             if n == 0:
                 done_links.append(lid)
                 continue
-            start = self._link_rr[lid] % n
+            start = link_rr[lid] % n
             for i in range(n):
-                sender = senders[(start + i) % n]
-                sink = sender.next_sink
-                if not sink.has_space():
+                idx = start + i
+                if idx >= n:
+                    idx -= n
+                sender, sink, is_inj = senders[idx]
+                sink_fifo = sink.fifo
+                if len(sink_fifo) >= sink.capacity:  # inline has_space()
                     continue
-                flit = sender.ready_flit(now)
-                if flit is None:
-                    continue
-                is_injection = isinstance(sender, InjectionChannel)
-                if is_injection:
-                    if self._inj_used[sender.node]:
+                msg = sender.owner
+                # Inline ready_flit() / pop_flit() for both sender kinds.
+                if is_inj:
+                    flit = msg.flits_sent
+                    if flit >= msg.size:
                         continue
-                    self._inj_used[sender.node] = 1
-                self._move_flit(sender, sink, flit, now, is_injection)
-                self._link_rr[lid] = (start + i + 1) % max(1, len(senders))
+                    node = sender.node
+                    if inj_used[node]:
+                        continue
+                    inj_used[node] = 1
+                    msg.flits_sent = flit + 1
+                    injected += 1
+                else:
+                    fifo = sender.fifo
+                    if not fifo:
+                        continue
+                    flit, arrived = fifo[0]
+                    if arrived >= now:
+                        continue  # one-cycle minimum per hop
+                    fifo.popleft()
+                    occ[0] -= 1
+                sink_fifo.append((flit, now))  # inline accept_flit()
+                occ[0] += 1
+                forwarded += 1
+                if flit == 0:
+                    # Header advanced one hop: update dateline state and
+                    # queue the downstream channel for route computation.
+                    msg.hops += 1
+                    link = sink.link
+                    if link.crosses_dateline:
+                        msg.crossed_mask |= 1 << link.dim
+                    pending_append(sink)
+                    msg.blocked_since = now
+                if flit == msg.size - 1:
+                    # Tail departed: free the channel behind the packet.
+                    # The winner sat at ``idx``; removing it shifts every
+                    # later sender down one, so the round-robin pointer
+                    # must aim at ``idx`` (the old ``idx + 1``), not past
+                    # it — otherwise the next sender is skipped and can
+                    # starve under contention.
+                    del senders[idx]
+                    sender.release()
+                    if is_inj:
+                        self.on_injection_complete(sender, msg, now)
+                    if senders:
+                        link_rr[lid] = idx if idx < len(senders) else 0
+                    else:
+                        link_rr[lid] = 0
+                        done_links.append(lid)
+                else:
+                    link_rr[lid] = idx + 1 if idx + 1 < n else 0
                 break
-            if not senders:
-                done_links.append(lid)
+        self.flits_forwarded += forwarded
+        self.flits_injected += injected
         for lid in done_links:
             self._busy_links.discard(lid)
-
-    def _move_flit(
-        self,
-        sender,
-        sink: VirtualChannel,
-        flit: int,
-        now: int,
-        is_injection: bool,
-    ) -> None:
-        msg = sender.owner
-        sender.pop_flit()
-        sink.accept_flit(flit, now)
-        self.flits_forwarded += 1
-        if is_injection:
-            self.flits_injected += 1
-        if flit == 0:
-            # Header advanced one hop: update dateline state and queue the
-            # downstream channel for route computation next cycle.
-            msg.hops += 1
-            link = sink.link
-            if link.crosses_dateline:
-                msg.crossed_mask |= 1 << link.dim
-            self.pending.append(sink)
-            msg.blocked_since = now
-        if flit == msg.size - 1:
-            # Tail departed this sender: free the channel behind the packet.
-            self.link_senders[sink.link.lid].remove(sender)
-            sender.release()
-            if is_injection:
-                self.on_injection_complete(sender, msg, now)
 
     # Hook the endpoint layer overrides to reload injection channels.
     def on_injection_complete(self, chan: InjectionChannel, msg, now: int) -> None:
@@ -283,10 +337,13 @@ class Fabric:
             pass
 
     def occupancy(self) -> int:
-        """Total flits currently buffered in network virtual channels."""
-        return sum(
-            len(vc.fifo) for vcs in self.link_vcs for vc in vcs
-        )
+        """Total flits currently buffered in network virtual channels.
+
+        O(1): every VC shares the fabric's occupancy ledger, updated as
+        flits move, so the quiesce loop's per-cycle emptiness check does
+        not rescan every buffer.
+        """
+        return self._occ[0]
 
     def all_vcs(self):
         for vcs in self.link_vcs:

@@ -30,6 +30,10 @@ from repro.util.errors import ConfigurationError
 ESCAPE_PER_NETWORK = 2
 
 
+def _fifo_occupancy(vc: VirtualChannel) -> int:
+    return len(vc.fifo)
+
+
 @dataclass(frozen=True)
 class VcMap:
     """Assignment of VC indices to logical networks and roles.
@@ -142,9 +146,15 @@ class RoutingFunction:
         #: packet is restricted to dimension-order escape routing.
         self.adaptive = adaptive
         self.link_vcs: list[list[VirtualChannel]] | None = None
+        #: (router, dst_router, vc_class, crossed_mask) -> static
+        #: candidate structure; see :meth:`candidates`.
+        self._memo: dict[tuple[int, int, int, int],
+                         tuple[tuple[VirtualChannel, ...],
+                               VirtualChannel | None]] = {}
 
     def bind(self, link_vcs: list[list[VirtualChannel]]) -> None:
         self.link_vcs = link_vcs
+        self._memo.clear()
 
     # ------------------------------------------------------------------
     def escape_candidate(
@@ -184,6 +194,37 @@ class RoutingFunction:
         out.sort(key=lambda vc: len(vc.fifo))
         return out
 
+    def _static_candidates(
+        self, router: int, dst_router: int, vc_class: int, crossed_mask: int
+    ) -> tuple[tuple[VirtualChannel, ...], VirtualChannel | None]:
+        """The hop's candidate VCs independent of channel occupancy.
+
+        Which VCs are *eligible* at a hop depends only on the (current
+        router, destination router, VC class, dateline-crossing mask)
+        tuple, so the productive-direction walk and link lookups are done
+        once per key; :meth:`candidates` then applies the per-attempt
+        dynamic parts (ownership filter, emptiest-first sort).
+        """
+        adaptive: list[VirtualChannel] = []
+        indices = self.vc_map.adaptive[vc_class]
+        if indices and self.adaptive:
+            for dim, direction, _ in self.topology.productive_directions(
+                router, dst_router
+            ):
+                vcs = self.link_vcs[self.topology.out_link(router, dim, direction).lid]
+                for idx in indices:
+                    adaptive.append(vcs[idx])
+        esc = None
+        pair = self.vc_map.escape[vc_class]
+        if pair is not None:
+            dirs = self.topology.productive_directions(router, dst_router)
+            if dirs:
+                dim, direction, _ = min(dirs, key=lambda t: (t[0], -t[1]))
+                link = self.topology.out_link(router, dim, direction)
+                cls1 = link.crosses_dateline or (crossed_mask >> dim) & 1
+                esc = self.link_vcs[link.lid][pair[1] if cls1 else pair[0]]
+        return tuple(adaptive), esc
+
     def candidates(self, router: int, dst_router: int, msg) -> list[VirtualChannel]:
         """All candidate output VCs in preference order.
 
@@ -192,8 +233,16 @@ class RoutingFunction:
         returned; the escape candidate is returned regardless so callers
         can wait on it.
         """
-        cands = self.adaptive_candidates(router, dst_router, msg)
-        esc = self.escape_candidate(router, dst_router, msg)
+        key = (router, dst_router, msg.vc_class, msg.crossed_mask)
+        entry = self._memo.get(key)
+        if entry is None:
+            entry = self._memo[key] = self._static_candidates(*key)
+        static_adaptive, esc = entry
+        # Free channels keep their static (direction-major) order under
+        # the stable emptiest-first sort — identical to rebuilding the
+        # candidate list from scratch every attempt.
+        cands = [vc for vc in static_adaptive if vc.owner is None]
+        cands.sort(key=_fifo_occupancy)
         if esc is not None:
             cands.append(esc)
         return cands

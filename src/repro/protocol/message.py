@@ -113,6 +113,7 @@ class Message:
         "flits_sent",
         "flits_ejected",
         "vc_class",
+        "dst_router",
         "blocked_since",
         "rescued",
         "deflected",
@@ -148,6 +149,9 @@ class Message:
         self.flits_ejected = 0
         # Scheme-assigned virtual-channel class (logical network id).
         self.vc_class = 0
+        # Destination router, cached by the fabric at injection so the
+        # allocation loop never re-derives it (-1 = not yet resolved).
+        self.dst_router = -1
         # Cycle since which the header has made no forward progress
         # (-1 = not blocked); used by PR's router-level timeout detection.
         self.blocked_since = -1

@@ -23,6 +23,7 @@ Length    Messages
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass
 
@@ -33,6 +34,18 @@ from repro.protocol.message import Message, MessageSpec, Transaction
 from repro.util.errors import ConfigurationError
 
 _txn_uid = itertools.count()
+
+
+@functools.lru_cache(maxsize=None)
+def _length_sampler(
+    length_probs: tuple[tuple[int, float], ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chain lengths and their normalized CDF, computed once per pattern."""
+    lengths = np.asarray([length for length, _ in length_probs])
+    p = np.asarray([p for _, p in length_probs], dtype=np.float64)
+    cdf = p.cumsum()
+    cdf /= cdf[-1]
+    return lengths, cdf
 
 
 @dataclass(frozen=True)
@@ -146,9 +159,14 @@ class TransactionPattern:
     # Sampling
     # ------------------------------------------------------------------
     def sample_chain_length(self, rng: np.random.Generator) -> int:
-        lengths = [length for length, _ in self.length_probs]
-        probs = [p for _, p in self.length_probs]
-        return int(rng.choice(lengths, p=probs))
+        # Equivalent to ``rng.choice(lengths, p=probs)`` but with the CDF
+        # cached across calls: choice() revalidates and re-normalizes the
+        # probability vector on every draw, which dominated traffic
+        # generation.  The single uniform draw and the searchsorted lookup
+        # mirror choice()'s internals, so the RNG stream and the sampled
+        # values are unchanged.
+        lengths, cdf = _length_sampler(self.length_probs)
+        return int(lengths[cdf.searchsorted(rng.random(), side="right")])
 
     def build_transaction(
         self,

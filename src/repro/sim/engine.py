@@ -82,6 +82,8 @@ class Engine:
         self.traffic.attach(self)
         self.now = 0
         self.cwg_knots_seen = 0
+        # Hoisted config read for the per-cycle loop.
+        self._cwg_interval = config.cwg_interval
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -93,7 +95,7 @@ class Engine:
             ni.step(now)
         self.fabric.step(now)
         self.scheme.step(now)
-        if self.config.cwg_interval and now % self.config.cwg_interval == 0:
+        if self._cwg_interval and now % self._cwg_interval == 0:
             from repro.core.cwg import detect_deadlock
 
             knots = detect_deadlock(self)
@@ -156,6 +158,11 @@ class Engine:
         if controller is not None and getattr(controller, "phase", "idle") != "idle":
             return False  # a progressive rescue is still in flight
         traffic = self.traffic
-        if getattr(traffic, "exhausted", True) is False and traffic.load > 0:
+        # Trace-driven sources need not expose ``load``; treat a missing
+        # attribute as "not generating" rather than raising.
+        if (
+            getattr(traffic, "exhausted", True) is False
+            and getattr(traffic, "load", 0) > 0
+        ):
             return False
         return True

@@ -15,7 +15,18 @@ from dataclasses import dataclass
 from repro.protocol.message import Message, Transaction
 
 
-@dataclass
+def _new_type_row() -> dict[str, float]:
+    return {
+        "delivered": 0,
+        "flits": 0,
+        "latency_sum": 0.0,
+        "queue_wait_sum": 0.0,
+        "network_sum": 0.0,
+        "rescued": 0,
+    }
+
+
+@dataclass(slots=True)
 class WindowCounters:
     """Counters accumulated while the measurement window is open."""
 
@@ -52,13 +63,35 @@ class WindowCounters:
 
 
 class SimStats:
-    """Event hub fed by NIs, memory controllers and schemes."""
+    """Event hub fed by NIs, memory controllers and schemes.
+
+    The delivery/consumption hooks run for every message in the system,
+    so the measuring-window branch is hoisted into ``_live`` — the tuple
+    of counter sets each event must update (the run totals, plus the
+    window while one is open) — and the per-type rows are pre-created
+    from the protocol's type list instead of being grown per delivery.
+    """
+
+    __slots__ = (
+        "engine",
+        "total",
+        "window",
+        "measuring",
+        "_live",
+        "load_samples",
+        "_load_interval",
+        "_last_sample_cycle",
+        "_last_injected_flits",
+        "_type_rows",
+    )
 
     def __init__(self, engine) -> None:
         self.engine = engine
         self.total = WindowCounters()
         self.window: WindowCounters | None = None
         self.measuring = False
+        #: Counter sets every event updates (total, plus open window).
+        self._live: tuple[WindowCounters, ...] = (self.total,)
         # Per-interval injected-flit counts for load-rate distributions
         # (Figure 6); enabled on demand.
         self.load_samples: list[float] = []
@@ -68,8 +101,18 @@ class SimStats:
         # Per-message-type breakdown (whole run): delivered count, total
         # latency, source-queue wait, and in-network time.  Feeds
         # repro.sim.analysis (the endpoint-coupling diagnostics behind
-        # Figures 10/11).
-        self.by_type: dict[str, dict[str, float]] = {}
+        # Figures 10/11).  Rows for every protocol type are pre-created;
+        # `by_type` exposes only the types actually delivered.
+        self._type_rows: dict[str, dict[str, float]] = {
+            t.name: _new_type_row() for t in engine.protocol.all_types
+        }
+
+    @property
+    def by_type(self) -> dict[str, dict[str, float]]:
+        """Per-type rows for the types delivered at least once."""
+        return {
+            name: row for name, row in self._type_rows.items() if row["delivered"]
+        }
 
     # ------------------------------------------------------------------
     # Window control
@@ -77,11 +120,13 @@ class SimStats:
     def begin_window(self, now: int) -> None:
         self.window = WindowCounters(start_cycle=now, end_cycle=now)
         self.measuring = True
+        self._live = (self.total, self.window)
 
     def end_window(self, now: int) -> WindowCounters:
         assert self.window is not None
         self.window.end_cycle = now
         self.measuring = False
+        self._live = (self.total,)
         return self.window
 
     def enable_load_sampling(self, interval: int) -> None:
@@ -104,22 +149,14 @@ class SimStats:
     # Events
     # ------------------------------------------------------------------
     def on_admitted(self, msg: Message, now: int) -> None:
-        self.total.messages_admitted += 1
-        if self.measuring:
-            self.window.messages_admitted += 1
+        for w in self._live:
+            w.messages_admitted += 1
 
     def on_delivered(self, msg: Message, now: int) -> None:
         latency = now - msg.created_cycle
-        row = self.by_type.get(msg.mtype.name)
-        if row is None:
-            row = self.by_type[msg.mtype.name] = {
-                "delivered": 0,
-                "flits": 0,
-                "latency_sum": 0.0,
-                "queue_wait_sum": 0.0,
-                "network_sum": 0.0,
-                "rescued": 0,
-            }
+        row = self._type_rows.get(msg.mtype.name)
+        if row is None:  # type outside the protocol (custom traffic)
+            row = self._type_rows[msg.mtype.name] = _new_type_row()
         row["delivered"] += 1
         row["flits"] += msg.size
         row["latency_sum"] += latency
@@ -128,37 +165,29 @@ class SimStats:
         row["network_sum"] += now - entered
         if msg.rescued:
             row["rescued"] += 1
-        self.total.messages_delivered += 1
-        self.total.flits_delivered += msg.size
-        self.total.latency_sum += latency
-        self.total.latency_max = max(self.total.latency_max, latency)
-        if self.measuring:
-            w = self.window
+        size = msg.size
+        for w in self._live:
             w.messages_delivered += 1
-            w.flits_delivered += msg.size
+            w.flits_delivered += size
             w.latency_sum += latency
-            w.latency_max = max(w.latency_max, latency)
+            if latency > w.latency_max:
+                w.latency_max = latency
 
     def on_consumed(self, msg: Message, now: int) -> None:
-        self.total.messages_consumed += 1
-        if self.measuring:
-            self.window.messages_consumed += 1
+        for w in self._live:
+            w.messages_consumed += 1
 
     def on_transaction_complete(self, txn: Transaction, now: int) -> None:
         self.engine.interfaces[txn.requester].on_transaction_complete()
         latency = now - txn.created_cycle
-        self.total.transactions_completed += 1
-        self.total.txn_latency_sum += latency
-        if self.measuring:
-            self.window.transactions_completed += 1
-            self.window.txn_latency_sum += latency
+        for w in self._live:
+            w.transactions_completed += 1
+            w.txn_latency_sum += latency
 
     def on_deadlock(self, now: int, resolved: bool) -> None:
         if resolved:
-            self.total.deadlocks += 1
-            if self.measuring:
-                self.window.deadlocks += 1
+            for w in self._live:
+                w.deadlocks += 1
         else:
-            self.total.deadlocks_unresolved += 1
-            if self.measuring:
-                self.window.deadlocks_unresolved += 1
+            for w in self._live:
+                w.deadlocks_unresolved += 1

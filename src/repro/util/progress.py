@@ -3,7 +3,10 @@
 A :class:`ProgressReporter` tracks completed points, cache hits and
 per-point timing, and renders a single status line — in place (``\\r``)
 on a TTY, one line per update otherwise — so paper-scale runs are
-observable without drowning CI logs.
+observable without drowning CI logs.  Non-TTY output is additionally
+throttled to at most one line every ``min_interval`` seconds (a fast
+sweep of hundreds of cached points would otherwise emit hundreds of
+near-identical lines); ``finish`` always emits the final state.
 """
 
 from __future__ import annotations
@@ -37,10 +40,17 @@ class ProgressReporter:
     enabled:
         When false every method is a no-op, letting callers pass a
         reporter unconditionally.
+    clock:
+        Monotonic time source; injectable for tests.
+    min_interval:
+        Minimum seconds between non-TTY status lines.  The first update
+        renders immediately; suppressed updates are folded into the next
+        rendered line (or into ``finish``).
     """
 
     def __init__(self, total: int, label: str = "", stream=None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True, clock=time.monotonic,
+                 min_interval: float = 2.0) -> None:
         self.total = total
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
@@ -48,8 +58,12 @@ class ProgressReporter:
         self.done = 0
         self.cache_hits = 0
         self.failures = 0
-        self._start = time.monotonic()
+        self.min_interval = min_interval
+        self._clock = clock
+        self._start = clock()
         self._last_elapsed = 0.0
+        self._last_emit: float | None = None
+        self._dirty = False
 
     def update(self, *, cached: bool = False, elapsed: float = 0.0,
                failed: bool = False) -> None:
@@ -70,7 +84,7 @@ class ProgressReporter:
             return 0.0
         if not executed:
             return 0.0
-        pace = (time.monotonic() - self._start) / executed
+        pace = (self._clock() - self._start) / executed
         return pace * remaining
 
     def _line(self) -> str:
@@ -91,15 +105,28 @@ class ProgressReporter:
     def _render(self) -> None:
         if not self.enabled:
             return
-        line = self._line()
         if self.stream.isatty():
-            self.stream.write("\r" + line.ljust(79))
+            self.stream.write("\r" + self._line().ljust(79))
             self.stream.flush()
-        else:
-            self.stream.write(line + "\n")
+            return
+        # Non-TTY (log files, CI): rate-limit to one line per interval.
+        now = self._clock()
+        if self._last_emit is not None and now - self._last_emit < self.min_interval:
+            self._dirty = True
+            return
+        self.stream.write(self._line() + "\n")
+        self._last_emit = now
+        self._dirty = False
 
     def finish(self) -> None:
-        """Close the in-place line (newline on a TTY)."""
-        if self.enabled and self.stream.isatty():
+        """Close the in-place line (newline on a TTY); flush held state."""
+        if not self.enabled:
+            return
+        if self.stream.isatty():
             self.stream.write("\n")
             self.stream.flush()
+        elif self._dirty:
+            # Updates were suppressed by the throttle since the last
+            # emitted line: always leave the final state in the log.
+            self.stream.write(self._line() + "\n")
+            self._dirty = False

@@ -20,7 +20,9 @@ class TestWorkflow:
         # YAML 1.1 reads the `on:` trigger key as boolean True.
         triggers = workflow.get("on", workflow.get(True))
         assert "pull_request" in triggers and "push" in triggers
-        assert set(workflow["jobs"]) == {"lint", "test", "smoke-benchmark"}
+        assert set(workflow["jobs"]) == {
+            "lint", "test", "smoke-benchmark", "engine-benchmark",
+        }
 
     def test_python_matrix(self, workflow):
         matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
@@ -42,6 +44,17 @@ class TestWorkflow:
         runs = " ".join(s.get("run") or "" for s in steps)
         assert "repro.experiments.runner smoke table1" in runs
         assert "--workers 4" in runs
+
+    def test_engine_benchmark_checks_baseline_and_uploads_artifact(self, workflow):
+        steps = workflow["jobs"]["engine-benchmark"]["steps"]
+        runs = " ".join(s.get("run") or "" for s in steps)
+        assert "benchmarks/report.py --smoke" in runs
+        assert "--check BENCH_engine.json" in runs
+        upload = next(
+            s for s in steps if "upload-artifact" in (s.get("uses") or "")
+        )
+        assert upload["if"] == "always()"
+        assert upload["with"]["name"] == "BENCH_engine"
 
     def test_gitignore_covers_generated_dirs(self):
         gitignore = (WORKFLOW.parents[2] / ".gitignore").read_text("utf-8")

@@ -161,6 +161,46 @@ class TestReservationsUnderDR:
         reply_cls = e.scheme.queue_class_of(M4)
         assert ni.in_bank.queue(reply_cls).reserved == 0
 
+    def test_partial_reservation_failure_rolls_back(self):
+        """Admission needing two reply slots with only one free must not
+        leak the slot it managed to claim, and must succeed on retry."""
+        e = quiet_engine(scheme="DR", pattern="PAT721")
+        ni = e.interfaces[0]
+        reply_cls = e.scheme.queue_class_of(M4)
+        reply_q = ni.in_bank.queue(reply_cls)
+        # Artificially occupy reply slots until exactly one remains.
+        pinned = 0
+        while reply_q.free_slots > 1:
+            assert reply_q.try_reserve_reply()
+            pinned += 1
+        assert reply_q.free_slots == 1
+        # A root owed two replies: make_reservations claims the first
+        # slot, fails on the second, and must roll the first back.
+        root = Message(
+            M1, src=0, dst=3,
+            continuation=(MessageSpec(M4, 0), MessageSpec(M4, 0)),
+        )
+        ni.enqueue_root(root)
+        reserved_before = reply_q.reserved
+        e.run(10)  # ten admission retries; a leak would accumulate
+        assert len(ni.source_queue) == 1  # still waiting
+        assert ni.outstanding == 0
+        assert reply_q.reserved == reserved_before
+        assert reply_q.free_slots == 1
+        # Free the pinned slots: the retried admission now succeeds and
+        # claims both reply slots.
+        for _ in range(pinned):
+            reply_q.release_reservation()
+        e.run(5)
+        assert len(ni.source_queue) == 0
+        assert ni.outstanding == 1
+        assert reply_q.reserved == 2
+        # Both replies come back, consume their reservations, and the
+        # system drains cleanly.
+        assert e.quiesce(max_cycles=20_000)
+        assert reply_q.reserved == 0
+        assert e.stats.total.messages_consumed == e.stats.total.messages_delivered
+
     def test_home_reserves_for_m3_in_l4_chain(self):
         e = quiet_engine(scheme="DR", pattern="PAT721")
         from repro.protocol.transactions import PAT721

@@ -118,3 +118,67 @@ class TestCwgInterval:
         e = build_engine(scheme="PR", load=0.003, seed=3, cwg_interval=50)
         e.run(500)
         assert e.cwg_knots_seen == 0
+
+
+class _ScriptedTraffic:
+    """Trace-style source: replays (cycle, requester, home) triples.
+
+    Deliberately exposes no ``load`` attribute — quiesce/_empty must not
+    assume the synthetic-traffic interface (regression: AttributeError
+    when quiescing a trace-driven engine).
+    """
+
+    def __init__(self, pattern, events):
+        self.pattern = pattern
+        self.events = sorted(events)
+        self.engine = None
+        self.transactions = []
+
+    def attach(self, engine):
+        self.engine = engine
+
+    @property
+    def exhausted(self):
+        return not self.events
+
+    def step(self, now):
+        while self.events and self.events[0][0] <= now:
+            _, requester, home = self.events.pop(0)
+            txn = self.pattern.build_transaction(
+                requester=requester, home=home, third=requester,
+                created_cycle=now, length=2,
+            )
+            self.transactions.append(txn)
+            self.engine.interfaces[requester].enqueue_root(txn.root)
+
+
+class TestTraceQuiesce:
+    def _engine(self, events):
+        from repro.protocol.transactions import PAT100
+        from repro.traffic.synthetic import pattern_couplings
+
+        traffic = _ScriptedTraffic(PAT100, events)
+        return Engine(
+            SimConfig(dims=(4, 4), scheme="PR", seed=3),
+            traffic=traffic,
+            protocol=PAT100.protocol,
+            types_used=PAT100.types_used,
+            couplings=pattern_couplings(PAT100),
+        )
+
+    def test_quiesce_without_load_attribute(self):
+        # quiesce()/_empty() must tolerate traffic sources that have no
+        # ``load`` knob instead of raising AttributeError.
+        e = self._engine([(1, 0, 5), (3, 2, 9), (10, 7, 1)])
+        e.run(20)
+        assert e.quiesce(max_cycles=20_000)
+        assert e.traffic.exhausted
+        total = e.stats.total
+        assert total.messages_delivered > 0
+        assert total.messages_consumed == total.messages_delivered
+        assert all(t.completed for t in e.traffic.transactions)
+
+    def test_empty_is_false_while_messages_in_flight(self):
+        e = self._engine([(1, 0, 5)])
+        e.run(2)  # root admitted, flits in the network
+        assert not e._empty()

@@ -160,3 +160,68 @@ class TestLinkDiscipline:
         h.inject(msg)
         h.run(40)
         assert msg.crossed_mask & 1
+
+
+class TestLinkRoundRobinAfterTailDeparture:
+    """Regression test: the RR pointer must track the sender removal.
+
+    When a tail flit departs, the winning sender is removed from the
+    link's sender list, shifting every later sender down one slot.  The
+    old pointer update ``(start + i + 1) % len(senders)`` was computed
+    against the *new* length, so the sender immediately after the
+    departed one lost its turn — under contention it could be skipped
+    every round (starvation).
+    """
+
+    @staticmethod
+    def _vc_sender(fabric, link_idx, vc_idx, msg, flits):
+        """Hand-load a VC with flits of ``msg``, ready to depart."""
+        vc = fabric.link_vcs[link_idx][vc_idx]
+        vc.owner = msg
+        for f in flits:
+            vc.fifo.append((f, 0))
+            vc.ledger[0] += 1
+        return vc
+
+    def test_next_sender_wins_after_tail_frees_link(self):
+        h = Harness(dims=(4, 4), num_vcs=4, depth=4)
+        f = h.fabric
+        lid = 0  # the contended link; senders sit on an upstream link
+        upstream = 1
+        msg_a = Message(M4, src=0, dst=5)
+        msg_b = Message(M4, src=1, dst=5)
+        msg_c = Message(M4, src=2, dst=5)
+        assert msg_a.size >= 4  # flits 1, 2 below must be body flits
+        tail = msg_a.size - 1
+        # A holds only its tail; B and C each hold two body flits.
+        s_a = self._vc_sender(f, upstream, 0, msg_a, [tail])
+        s_b = self._vc_sender(f, upstream, 1, msg_b, [1, 2])
+        s_c = self._vc_sender(f, upstream, 2, msg_c, [1, 2])
+        sinks = {}
+        for name, sender, msg in [("A", s_a, msg_a), ("B", s_b, msg_b),
+                                  ("C", s_c, msg_c)]:
+            sink = f.link_vcs[lid][ord(name) - ord("A")]
+            sink.owner = msg
+            sender.next_sink = sink
+            sinks[name] = sink
+        f.link_senders[lid] = [
+            (s_a, sinks["A"], False),
+            (s_b, sinks["B"], False),
+            (s_c, sinks["C"], False),
+        ]
+        f._busy_links.add(lid)
+        f._link_rr[lid] = 0
+
+        winners = []
+        for now in range(1, 6):
+            before = {k: len(v.fifo) for k, v in sinks.items()}
+            f._phase_links(now)
+            for k, v in sinks.items():
+                if len(v.fifo) > before[k]:
+                    winners.append(k)
+        # Cycle 1: A sends its tail and leaves the link.  Cycle 2 must go
+        # to B — the buggy pointer update skipped straight to C, and with
+        # sustained contention B would starve ([A, C, B, C, B] order).
+        assert winners[0] == "A"
+        assert winners[1] == "B", "sender after a departed tail was skipped"
+        assert winners == ["A", "B", "C", "B", "C"]

@@ -194,6 +194,19 @@ class TestExecutionConfig:
             parallel.set_default_execution(previous)
 
 
+class FakeClock:
+    """Deterministic monotonic clock for throttle tests."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
 class TestProgressReporter:
     def test_non_tty_lines(self):
         stream = io.StringIO()
@@ -204,6 +217,49 @@ class TestProgressReporter:
         lines = stream.getvalue().splitlines()
         assert lines[0].startswith("PR/x [1/3]")
         assert "1 cached" in lines[1]
+
+    def test_non_tty_updates_throttled(self):
+        # A burst of quick updates must not flood a log file: at most one
+        # line per min_interval, with the final state always emitted.
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=100, stream=stream, clock=clock,
+                                    min_interval=2.0)
+        for _ in range(50):
+            reporter.update()
+            clock.advance(0.01)  # 100 updates/sec
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1  # only the first update rendered
+        assert lines[0].startswith("[1/100]")
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[-1].startswith("[50/100]")
+
+    def test_non_tty_emits_after_interval_elapses(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=4, stream=stream, clock=clock,
+                                    min_interval=2.0)
+        reporter.update()
+        clock.advance(0.5)
+        reporter.update()  # throttled
+        clock.advance(2.0)
+        reporter.update()  # interval elapsed: rendered
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/4]")
+        assert lines[1].startswith("[3/4]")
+        reporter.finish()  # nothing suppressed since the last line
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_finish_without_pending_state_adds_nothing(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, stream=stream, clock=clock)
+        reporter.update()
+        reporter.finish()
+        assert len(stream.getvalue().splitlines()) == 1
 
     def test_disabled_is_silent(self):
         stream = io.StringIO()

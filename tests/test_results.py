@@ -77,7 +77,8 @@ class TestSweep:
 
     def test_sweep_stops_past_saturation(self):
         cfg = SimConfig(scheme="DR", pattern="PAT721", num_vcs=4, seed=3)
-        loads = [0.002, 0.006, 0.010, 0.014, 0.018, 0.022, 0.026]
+        loads = [0.002, 0.006, 0.010, 0.014, 0.018, 0.022, 0.026,
+                 0.030, 0.034]
         s = run_sweep(cfg, loads, warmup=800, measure=1500)
         # The sweep must cut off once throughput collapses.
         assert len(s.points) < len(loads)
