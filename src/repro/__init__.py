@@ -19,11 +19,18 @@ Quickstart::
 """
 
 from repro.config import ExecutionConfig, SimConfig
+from repro.faults import FaultSpec, parse_fault
 from repro.protocol.chains import GENERIC_MSI, GENERIC_ORIGIN, MSI_COHERENCE
 from repro.protocol.transactions import PATTERNS
 from repro.sim.engine import Engine
 from repro.sim.results import RunResult, SweepResult, burton_normal_form
 from repro.sim.sweep import run_point, run_sweep
+from repro.util.errors import (
+    InvariantViolation,
+    LivenessError,
+    PointTimeoutError,
+    SweepExecutionError,
+)
 
 __version__ = "1.0.0"
 
@@ -31,6 +38,8 @@ __all__ = [
     "ExecutionConfig",
     "SimConfig",
     "Engine",
+    "FaultSpec",
+    "parse_fault",
     "RunResult",
     "SweepResult",
     "burton_normal_form",
@@ -40,5 +49,9 @@ __all__ = [
     "GENERIC_MSI",
     "GENERIC_ORIGIN",
     "MSI_COHERENCE",
+    "InvariantViolation",
+    "LivenessError",
+    "PointTimeoutError",
+    "SweepExecutionError",
     "__version__",
 ]

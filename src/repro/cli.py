@@ -21,10 +21,17 @@ import json
 import sys
 
 from repro.config import ExecutionConfig, SimConfig
+from repro.faults import parse_fault
 from repro.sim.analysis import format_breakdown
 from repro.sim.engine import Engine
+from repro.sim.invariants import format_dump
 from repro.sim.parallel import DEFAULT_CACHE_DIR
 from repro.sim.sweep import run_sweep
+from repro.util.errors import (
+    InvariantViolation,
+    LivenessError,
+    SweepExecutionError,
+)
 
 
 def _add_config_args(p: argparse.ArgumentParser) -> None:
@@ -42,6 +49,15 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--shared-extras", action="store_true")
     p.add_argument("--recovery-policy", default="minimum",
                    choices=["minimum", "drain"])
+    p.add_argument("--fault", action="append", default=[], dest="faults",
+                   metavar="SPEC", type=parse_fault,
+                   help="inject a fault, e.g."
+                   " consumer-stall:target=5,start=600,duration=1500"
+                   " (repeatable)")
+    p.add_argument("--invariants-every", type=int, default=0, metavar="N",
+                   help="run the invariant suite every N cycles (0 = off)")
+    p.add_argument("--watchdog", type=int, default=0, metavar="CYCLES",
+                   help="fail after this many progress-free cycles (0 = off)")
 
 
 def _positive_int(text: str) -> int:
@@ -58,6 +74,10 @@ def _add_execution_args(p: argparse.ArgumentParser) -> None:
                    help="skip the on-disk result cache")
     p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                    help="result cache location (default: %(default)s)")
+    p.add_argument("--point-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill and retry a sweep point running longer than"
+                   " this (default: no timeout)")
 
 
 def _execution(args) -> ExecutionConfig:
@@ -66,6 +86,7 @@ def _execution(args) -> ExecutionConfig:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=True,
+        point_timeout=args.point_timeout,
     )
 
 
@@ -84,12 +105,21 @@ def _config(args, load: float) -> SimConfig:
         shared_extras=args.shared_extras,
         recovery_policy=args.recovery_policy,
         load=load,
+        faults=tuple(args.faults),
+        invariants_every=args.invariants_every,
+        watchdog_timeout=args.watchdog,
     )
 
 
 def cmd_run(args) -> int:
     engine = Engine(_config(args, args.load))
-    window = engine.run_measured(args.warmup, args.measure)
+    try:
+        window = engine.run_measured(args.warmup, args.measure)
+    except (LivenessError, InvariantViolation) as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        if exc.dump is not None:
+            print(format_dump(exc.dump), file=sys.stderr)
+        return 3
     nodes = engine.topology.num_nodes
     print(f"topology            : {engine.topology}")
     print(f"scheme              : {engine.scheme.describe()}")
@@ -98,6 +128,9 @@ def cmd_run(args) -> int:
     print(f"messages delivered  : {window.messages_delivered}")
     print(f"deadlocks           : {window.deadlocks + window.deadlocks_unresolved}")
     print(f"normalized deadlocks: {window.normalized_deadlocks():.3e}")
+    if engine.faults is not None:
+        for desc, count in engine.faults.activation_counts().items():
+            print(f"fault               : {desc} activated {count}x")
     print("\nper-type breakdown (whole run):")
     print(format_breakdown(engine.stats))
     return 0
@@ -105,14 +138,18 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     loads = [float(x) for x in args.loads.split(",")]
-    sweep = run_sweep(
-        _config(args, loads[0]),
-        loads,
-        warmup=args.warmup,
-        measure=args.measure,
-        stop_past_saturation=not args.no_early_stop,
-        execution=_execution(args),
-    )
+    try:
+        sweep = run_sweep(
+            _config(args, loads[0]),
+            loads,
+            warmup=args.warmup,
+            measure=args.measure,
+            stop_past_saturation=not args.no_early_stop,
+            execution=_execution(args),
+        )
+    except SweepExecutionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
     print(f"{'load':>8s} {'thr(fpc)':>9s} {'latency':>9s} {'deadlocks':>10s}")
     for p in sweep.points:
         print(f"{p.load:8.4f} {p.throughput_fpc:9.4f} {p.mean_latency:8.1f}c"

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.faults.models import FaultSpec
 from repro.util.errors import ConfigurationError
 
 _VALID_SCHEMES = ("SA", "DR", "PR", "NONE")
@@ -72,6 +73,15 @@ class SimConfig:
     #: optional CWG-based detection interval (0 = off; paper used 50).
     cwg_interval: int = 0
 
+    # --- robustness ---
+    #: faults to inject (see :mod:`repro.faults`); empty = healthy run.
+    faults: tuple[FaultSpec, ...] = ()
+    #: run the full invariant suite every N cycles (0 = off).
+    invariants_every: int = 0
+    #: raise :class:`~repro.util.errors.LivenessError` after this many
+    #: progress-free cycles with messages in flight (0 = off).
+    watchdog_timeout: int = 0
+
     def __post_init__(self) -> None:
         if self.scheme not in _VALID_SCHEMES:
             raise ConfigurationError(
@@ -101,6 +111,18 @@ class SimConfig:
                 f"token_ring {self.token_ring!r} not in"
                 " ('interleaved', 'routers-first')"
             )
+        if not isinstance(self.faults, tuple):
+            # accept any iterable of specs; normalise for hashing/caching.
+            object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(
+                    f"faults entries must be FaultSpec, got {spec!r}"
+                )
+        if self.invariants_every < 0:
+            raise ConfigurationError("invariants_every must be >= 0")
+        if self.watchdog_timeout < 0:
+            raise ConfigurationError("watchdog_timeout must be >= 0")
 
     def with_(self, **kwargs) -> "SimConfig":
         """A modified copy (convenience for sweeps)."""
@@ -126,9 +148,14 @@ class ExecutionConfig:
     retries: int = 1
     #: emit a progress line (points done/total, ETA, cache hits).
     progress: bool = False
+    #: wall-clock seconds a single point may run before its worker is
+    #: killed and the point retried (None = no timeout).
+    point_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("workers must be positive")
         if self.retries < 0:
             raise ConfigurationError("retries must be non-negative")
+        if self.point_timeout is not None and self.point_timeout <= 0:
+            raise ConfigurationError("point_timeout must be positive")

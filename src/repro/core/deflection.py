@@ -64,7 +64,10 @@ class DeflectionController:
             return False
         # R3: keep slots reserved for replies still owed to this node
         # along the deflected chain (the home's FRP in 4-type chains).
-        if not scheme.make_reservations(ni.node, ni.in_bank, head.continuation):
+        # The deflected head vacates its slot, which may back one of them.
+        if not scheme.make_reservations(
+            ni.node, ni.in_bank, head.continuation, vacating=in_q
+        ):
             return False
 
         in_q.pop()
@@ -92,6 +95,7 @@ class DeflectionController:
         scheme.deadlocks_detected += 1
         scheme.recoveries += 1
         stats = self.engine.stats
+        stats.on_created(brp)
         stats.on_consumed(head, now)
         stats.on_deadlock(now, resolved=True)
         return True

@@ -162,6 +162,12 @@ class ProgressiveController:
         self.rescues = 0
         self.router_captures = 0
         self.ni_captures = 0
+        # Token-loss recovery: each stop expects the token at least once
+        # per lap, so a full ring length without it means it is gone.
+        # This models distributed loss detection without simulating the
+        # per-stop timers individually.
+        self.token_regenerations = 0
+        self._token_lost_for = 0
 
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
@@ -185,7 +191,15 @@ class ProgressiveController:
     # Token circulation and capture
     # ------------------------------------------------------------------
     def _circulate(self, now: int) -> None:
-        stop = self.token.advance()
+        token = self.token
+        if token.lost:
+            self._token_lost_for += 1
+            if self._token_lost_for > len(token.stops):
+                token.regenerate()
+                self.token_regenerations += 1
+                self._token_lost_for = 0
+            return
+        stop = token.advance()
         if stop.kind == "ni":
             if self._fired.get(stop.ident):
                 self._capture_at_ni(stop, now)

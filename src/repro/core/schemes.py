@@ -89,17 +89,28 @@ class Scheme(ABC):
     def num_queue_classes(self) -> int:
         ...
 
-    def make_reservations(self, node: int, in_bank, continuation) -> bool:
+    def make_reservations(self, node: int, in_bank, continuation,
+                          vacating=None) -> bool:
         """Reserve one input slot per reply-class spec destined to ``node``.
 
         All-or-nothing: on failure every reservation made here is rolled
         back and ``False`` is returned so the caller can retry later.
+
+        ``vacating`` names a queue whose head is consumed by the same
+        action these reservations belong to (service of a message frees
+        its slot atomically): one reservation into that queue may use
+        the head's slot.  Without this, a head needing a reservation in
+        its own full queue — a BRP in the shared reply queue, any head
+        under shared queue mode — could never be serviced: an artificial
+        endpoint deadlock the protocol does not actually have.
         """
         made = []
         for spec in walk_specs(continuation):
             if spec.dst == node and self.wants_reservation(spec.mtype):
                 q = in_bank.queue(self.queue_class_of(spec.mtype))
-                if q.try_reserve_reply():
+                # The +1 self-limits: over-reserving drives free_slots
+                # negative, so the head's slot is only ever spent once.
+                if q.try_reserve_reply(extra=1 if q is vacating else 0):
                     made.append(q)
                 else:
                     for made_q in made:

@@ -74,6 +74,12 @@ class Token:
         self.holder: Stop | None = None
         self.captures = 0
         self.laps = 0
+        # Fault state (see repro.faults): a lost token stops moving until
+        # the controller's loss watchdog regenerates it; ``duplicates``
+        # counts injected extra tokens for the uniqueness invariant.
+        self.lost = False
+        self.duplicates = 0
+        self.regenerations = 0
 
     @property
     def at(self) -> Stop:
@@ -83,6 +89,8 @@ class Token:
         """Move one stop per cycle while circulating."""
         if self.state != Token.CIRCULATING:  # pragma: no cover - guarded
             raise SimulationError("cannot advance a held token")
+        if self.lost:  # pragma: no cover - guarded by the controller
+            raise SimulationError("cannot advance a lost token")
         self.pos = (self.pos + 1) % len(self.stops)
         if self.pos == 0:
             self.laps += 1
@@ -106,3 +114,22 @@ class Token:
                 pass
         self.state = Token.CIRCULATING
         self.holder = None
+
+    # -- fault hooks (driven by repro.faults.injector) ------------------
+    def lose(self) -> bool:
+        """Drop a circulating token; a held one cannot silently vanish."""
+        if self.state != Token.CIRCULATING or self.lost:
+            return False
+        self.lost = True
+        return True
+
+    def duplicate(self) -> None:
+        """Record an injected duplicate token (invariant-check fodder)."""
+        self.duplicates += 1
+
+    def regenerate(self) -> None:
+        """Controller-side loss recovery: mint a fresh circulating token."""
+        self.lost = False
+        self.state = Token.CIRCULATING
+        self.holder = None
+        self.regenerations += 1

@@ -58,6 +58,9 @@ class MemoryController:
         self._current_is_priority = False
         self.messages_serviced = 0
         self.busy_cycles = 0
+        #: fault hook (repro.faults): a stalled controller services
+        #: nothing — the consumer-stall model of a wedged memory system.
+        self.stalled = False
 
     # ------------------------------------------------------------------
     @property
@@ -77,6 +80,8 @@ class MemoryController:
 
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
+        if self.stalled:
+            return
         if self.current is not None:
             self.busy_cycles += 1
             if now >= self.busy_until:
@@ -135,8 +140,10 @@ class MemoryController:
                     break
         if ok and msg.continuation:
             # MSHR preallocation for replies this node is owed (R2).
+            # The head's own slot (freed by the pop below) may back a
+            # reservation into the same queue.
             ok = self.policy.make_reservations(
-                self.node, self.in_bank, msg.continuation
+                self.node, self.in_bank, msg.continuation, vacating=queue
             )
         if not ok:
             for out_cls in held:
@@ -183,6 +190,7 @@ class MemoryController:
             )
             sub.vc_class = self.policy.vc_class_of(spec.mtype)
             sub.has_reservation = self.policy.wants_reservation(spec.mtype)
+            self.stats.on_created(sub)
             subs.append(sub)
         return subs
 

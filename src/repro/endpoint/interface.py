@@ -80,6 +80,7 @@ class NetworkInterface:
     # ------------------------------------------------------------------
     def enqueue_root(self, root: Message) -> None:
         """Hand a freshly generated transaction root to the NI."""
+        self.stats.on_created(root)
         self.source_queue.append(root)
 
     def step(self, now: int) -> None:

@@ -80,8 +80,15 @@ class MessageQueue:
         self.version += 1
 
     # -- reply reservations (MSHR preallocation) -------------------------
-    def try_reserve_reply(self) -> bool:
-        if self.free_slots > 0:
+    def try_reserve_reply(self, extra: int = 0) -> bool:
+        """Reserve a slot; ``extra`` credits slots about to be vacated.
+
+        A caller consuming this queue's head in the same action may pass
+        ``extra=1``: the head's slot backs the reservation.  The queue
+        is transiently over-committed until the head pops, which the
+        caller does before yielding control.
+        """
+        if self.free_slots + extra > 0:
             self.reserved += 1
             return True
         return False

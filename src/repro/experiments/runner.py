@@ -25,6 +25,7 @@ import traceback
 from repro.config import ExecutionConfig
 from repro.experiments import (
     ablations,
+    faults,
     fig6_load_rates,
     fig8_4vc,
     fig9_8vc,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "fig10": fig10_16vc,
     "fig11": fig11_queues,
     "ablations": ablations,
+    "faults": faults,
 }
 
 

@@ -1,0 +1,23 @@
+"""Fault injection: deterministic adversarial scenarios for the schemes.
+
+The paper's claim is that DR and PR *recover* from message-dependent
+deadlock while SA *avoids* it; this package turns that claim into
+executable scenarios.  :class:`FaultSpec` describes a fault (what,
+where, when — by cycle or seeded probability); the
+:class:`FaultInjector` drives them against a live engine through narrow
+hooks in the fabric, the memory controllers and the PR token ring.
+Paired with :mod:`repro.sim.invariants`, a faulted run either recovers
+(and the conservation checks prove nothing was lost) or fails loudly
+with a structured deadlock dump.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import EVENT_KINDS, FAULT_KINDS, FaultSpec, parse_fault
+
+__all__ = [
+    "EVENT_KINDS",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "parse_fault",
+]

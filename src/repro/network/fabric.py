@@ -85,6 +85,13 @@ class Fabric:
         self._inj_used = bytearray(topology.num_nodes)
         self._inj_zero = bytes(topology.num_nodes)
 
+        # Fault hooks (repro.faults): resources in these sets do nothing
+        # while stalled.  Kept as plain sets so the healthy hot path pays
+        # only an empty-set truthiness test per phase.
+        self.stalled_links: set[int] = set()
+        self.stalled_routers: set[int] = set()
+        self.stalled_ejects: set[int] = set()
+
         # Statistics
         self.flits_forwarded = 0
         self.flits_injected = 0
@@ -148,9 +155,12 @@ class Fabric:
         if not active:
             return
         ports = self.ejection_ports
+        stalled = self.stalled_ejects
         # Sorted so port service order (and thus stats accumulation order)
         # matches the historical full scan in node order.
         for node in sorted(active):
+            if stalled and node in stalled:
+                continue
             port = ports[node]
             before = port.flits_drained
             port.step(now)
@@ -168,12 +178,20 @@ class Fabric:
         reserve_hooks = self._reserve_hooks
         link_senders = self.link_senders
         busy_add = self._busy_links.add
+        frozen = self.stalled_routers
         for sender in pending:
             msg = sender.owner
             if msg is None:  # rescued or otherwise detached meanwhile
                 continue
             if sender.next_sink is not None:
                 # A recovery scheme may have routed this sender already.
+                continue
+            if frozen and sender.router in frozen:
+                # Frozen router: no route computation.  Not an allocation
+                # failure — the packet is a fault victim, not contended.
+                if msg.blocked_since < 0:
+                    msg.blocked_since = now
+                still.append(sender)
                 continue
             dst_router = msg.dst_router
             if dst_router < 0:  # not injected via start_injection
@@ -227,7 +245,10 @@ class Fabric:
         forwarded = 0
         injected = 0
         done_links: list[int] = []
-        for lid in self._busy_links:
+        busy = self._busy_links
+        if self.stalled_links:
+            busy = busy - self.stalled_links
+        for lid in busy:
             senders = link_senders[lid]
             n = len(senders)
             if n == 0:

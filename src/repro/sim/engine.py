@@ -9,12 +9,15 @@ periodic CWG deadlock check (the paper's 50-cycle mode).
 from __future__ import annotations
 
 from repro.config import SimConfig
+from repro.core.cwg import detect_deadlock
 from repro.core.schemes import Scheme, build_scheme
 from repro.endpoint.interface import NetworkInterface
+from repro.faults.injector import FaultInjector
 from repro.network.fabric import Fabric
 from repro.network.topology import Torus
 from repro.protocol.chains import Protocol
 from repro.protocol.transactions import PATTERNS
+from repro.sim.invariants import InvariantChecker, QuiesceResult, capture_dump
 from repro.sim.stats import SimStats, WindowCounters
 from repro.traffic.synthetic import SyntheticTraffic, pattern_couplings
 from repro.util.errors import ConfigurationError
@@ -84,24 +87,41 @@ class Engine:
         self.cwg_knots_seen = 0
         # Hoisted config read for the per-cycle loop.
         self._cwg_interval = config.cwg_interval
+        # Robustness layer: both default to None so the healthy hot path
+        # pays one `is None` test per cycle each.
+        self.faults: FaultInjector | None = (
+            FaultInjector(self, config.faults, config.seed)
+            if config.faults else None
+        )
+        self.invariants: InvariantChecker | None = (
+            InvariantChecker(
+                self,
+                every=config.invariants_every,
+                watchdog=config.watchdog_timeout,
+            )
+            if config.invariants_every or config.watchdog_timeout else None
+        )
 
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the whole system by one cycle."""
         self.now += 1
         now = self.now
+        if self.faults is not None:
+            # Before traffic: a fault applied at cycle t shapes cycle t.
+            self.faults.step(now)
         self.traffic.step(now)
         for ni in self.interfaces:
             ni.step(now)
         self.fabric.step(now)
         self.scheme.step(now)
         if self._cwg_interval and now % self._cwg_interval == 0:
-            from repro.core.cwg import detect_deadlock
-
             knots = detect_deadlock(self)
             if knots:
                 self.cwg_knots_seen += len(knots)
         self.stats.on_cycle(now)
+        if self.invariants is not None:
+            self.invariants.on_cycle(now)
 
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
@@ -123,12 +143,14 @@ class Engine:
             for ni in self.interfaces
         )
 
-    def quiesce(self, max_cycles: int = 200_000) -> bool:
-        """Stop traffic and drain; True if the system empties.
+    def quiesce(self, max_cycles: int = 200_000) -> QuiesceResult:
+        """Stop traffic and drain; truthy if the system empties.
 
         Used by conservation tests: with generation off, every in-flight
         message should eventually be delivered and consumed (unless an
-        unrecovered deadlock exists).
+        unrecovered deadlock exists).  A failed drain returns a falsy
+        :class:`~repro.sim.invariants.QuiesceResult` whose ``dump``
+        reports exactly which resources still hold messages.
         """
         saved_load = getattr(self.traffic, "load", None)
         if saved_load is not None:
@@ -136,9 +158,16 @@ class Engine:
         try:
             for _ in range(max_cycles):
                 if self._empty():
-                    return True
+                    return QuiesceResult(True)
                 self.step()
-            return self._empty()
+            if self._empty():
+                return QuiesceResult(True)
+            return QuiesceResult(
+                False,
+                capture_dump(
+                    self, reason=f"quiesce failed after {max_cycles} cycles"
+                ),
+            )
         finally:
             if saved_load is not None:
                 self.traffic.load = saved_load

@@ -23,7 +23,7 @@ import hashlib
 import json
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict
 from functools import lru_cache
@@ -32,7 +32,7 @@ from pathlib import Path
 import repro
 from repro.config import ExecutionConfig, SimConfig
 from repro.sim.results import RunResult
-from repro.util.errors import SweepExecutionError
+from repro.util.errors import PointTimeoutError, SweepExecutionError
 from repro.util.progress import ProgressReporter
 
 #: default location of the on-disk result cache.
@@ -152,6 +152,7 @@ def run_points(
     retries: int = 1,
     point_fn: PointFn | None = None,
     reporter: ProgressReporter | None = None,
+    timeout: float | None = None,
 ) -> list[RunResult]:
     """Run every config's point, fanned across ``workers`` processes.
 
@@ -162,6 +163,14 @@ def run_points(
     to ``retries`` more times; if it still fails, the whole batch raises
     :class:`SweepExecutionError` naming each failed config — successful
     points of the batch stay in the cache, so a rerun resumes.
+
+    With ``timeout`` set, a point running longer than that many
+    wall-clock seconds has its worker killed and is retried like a
+    crashed point; exhausted retries surface as a
+    :class:`~repro.util.errors.PointTimeoutError` inside the
+    :class:`SweepExecutionError`, so one wedged point can never hang a
+    whole campaign.  Timed execution always uses worker processes (even
+    with ``workers=1``) because an in-process point cannot be killed.
     """
     configs = list(configs)
     if point_fn is None:
@@ -192,6 +201,9 @@ def run_points(
 
     if not jobs:
         pass
+    elif timeout is not None:
+        _run_parallel_timed(point_fn, jobs, warmup, measure, workers, retries,
+                            record, failures, timeout)
     elif workers <= 1 or len(jobs) == 1:
         _run_serial(point_fn, jobs, warmup, measure, retries, record, failures)
     else:
@@ -252,3 +264,66 @@ def _run_parallel(point_fn, jobs, warmup, measure, workers, retries, record,
                 attempts[idx] += 1
                 if attempts[idx] > retries:
                     failures[idx] = (pending.pop(idx), exc)
+
+
+def _run_parallel_timed(point_fn, jobs, warmup, measure, workers, retries,
+                        record, failures, timeout) -> None:
+    """Wave-based execution with a wall-clock kill switch per point.
+
+    Points run in waves of at most ``workers`` so every point in a wave
+    starts (almost) simultaneously and one shared deadline is fair to
+    each.  On expiry the still-running workers are terminated — a hung
+    engine cannot be interrupted any other way — and their points are
+    either retried in a later wave or reported as
+    :class:`PointTimeoutError`.  Worker crashes surface as exceptions on
+    their futures (the executor breaks the remaining ones) and follow
+    the ordinary retry path.
+    """
+    pending = dict(jobs)
+    attempts = dict.fromkeys(jobs, 0)
+    wave_size = max(1, workers)
+    while pending:
+        wave = dict(list(pending.items())[:wave_size])
+        pool = ProcessPoolExecutor(max_workers=len(wave))
+        futures = {
+            pool.submit(_timed, point_fn, config, warmup, measure): idx
+            for idx, config in wave.items()
+        }
+        deadline = time.monotonic() + timeout
+        not_done = set(futures)
+        timed_out = False
+        try:
+            while not_done:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    timed_out = True
+                    break
+                done, not_done = wait(
+                    not_done, timeout=remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    idx = futures[future]
+                    attempts[idx] += 1
+                    exc = future.exception()
+                    if exc is None:
+                        result, elapsed = future.result()
+                        record(idx, result, elapsed)
+                        del pending[idx]
+                    elif attempts[idx] > retries:
+                        failures[idx] = (wave[idx], exc)
+                        del pending[idx]
+                    # else: left pending — retried in a later wave.
+            if timed_out:
+                for future in not_done:
+                    idx = futures[future]
+                    attempts[idx] += 1
+                    if attempts[idx] > retries:
+                        failures[idx] = (
+                            wave[idx], PointTimeoutError(timeout, wave[idx])
+                        )
+                        del pending[idx]
+                # A wedged worker never returns; SIGTERM is the only out.
+                for proc in list(pool._processes.values()):
+                    proc.terminate()
+        finally:
+            pool.shutdown(wait=not timed_out, cancel_futures=True)

@@ -83,6 +83,8 @@ class SimStats:
         "_last_sample_cycle",
         "_last_injected_flits",
         "_type_rows",
+        "messages_created",
+        "first_deadlock_cycle",
     )
 
     def __init__(self, engine) -> None:
@@ -106,6 +108,14 @@ class SimStats:
         self._type_rows: dict[str, dict[str, float]] = {
             t.name: _new_type_row() for t in engine.protocol.all_types
         }
+        # Message-conservation ledger (repro.sim.invariants): every
+        # message entering the system — transaction roots, subordinates,
+        # DR backoff replies — bumps this exactly once.  Run-total, never
+        # windowed: conservation must balance over the whole run.
+        self.messages_created = 0
+        #: cycle of the first detected deadlock (-1 = none yet); the
+        #: fault experiments report detection latency from it.
+        self.first_deadlock_cycle = -1
 
     @property
     def by_type(self) -> dict[str, dict[str, float]]:
@@ -152,6 +162,9 @@ class SimStats:
         for w in self._live:
             w.messages_admitted += 1
 
+    def on_created(self, msg: Message) -> None:
+        self.messages_created += 1
+
     def on_delivered(self, msg: Message, now: int) -> None:
         latency = now - msg.created_cycle
         row = self._type_rows.get(msg.mtype.name)
@@ -185,6 +198,8 @@ class SimStats:
             w.txn_latency_sum += latency
 
     def on_deadlock(self, now: int, resolved: bool) -> None:
+        if self.first_deadlock_cycle < 0:
+            self.first_deadlock_cycle = now
         if resolved:
             for w in self._live:
                 w.deadlocks += 1

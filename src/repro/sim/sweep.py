@@ -93,6 +93,7 @@ def run_sweep(
                 cache=cache,
                 retries=execution.retries,
                 reporter=reporter,
+                timeout=execution.point_timeout,
             )
             for point in points:
                 sweep.points.append(point)

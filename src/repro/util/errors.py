@@ -21,13 +21,60 @@ class SimulationError(RuntimeError):
     """
 
 
+class DiagnosedError(SimulationError):
+    """A runtime failure carrying a structured deadlock dump.
+
+    ``dump`` is a plain JSON-able dict (see
+    :func:`repro.sim.invariants.capture_dump`) so the exception survives
+    pickling across the sweep worker pool with its diagnosis intact.
+    """
+
+    def __init__(self, message: str, dump: dict | None = None) -> None:
+        super().__init__(message)
+        self.dump = dump
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.dump))
+
+
+class LivenessError(DiagnosedError):
+    """The forward-progress watchdog fired: a non-empty system made no
+    progress for the configured number of cycles — an unrecovered
+    deadlock or livelock.  Raised instead of letting the run hang."""
+
+
+class InvariantViolation(DiagnosedError):
+    """A periodic invariant check failed: messages were lost or
+    duplicated, the flit-occupancy ledger diverged from the buffers,
+    queue slot accounting went negative, or token uniqueness broke."""
+
+
+class PointTimeoutError(RuntimeError):
+    """A sweep point exceeded its wall-clock budget and its worker was
+    killed.  The engine-level watchdog (``watchdog_timeout``) is the
+    diagnosing mechanism; this is the backstop that keeps a hung point
+    from stalling a whole campaign."""
+
+    def __init__(self, timeout: float, config=None) -> None:
+        self.timeout = timeout
+        self.config = config
+        super().__init__(
+            f"sweep point exceeded its {timeout:g}s wall-clock timeout;"
+            " worker killed"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.timeout, self.config))
+
+
 class SweepExecutionError(RuntimeError):
     """One or more sweep points kept failing after their retry budget.
 
     Raised by :func:`repro.sim.parallel.run_points` so a crashed worker is
     reported with its configuration instead of silently dropping the
     point.  ``failures`` maps the failed point's index in the submitted
-    batch to ``(config, exception)``.
+    batch to ``(config, exception)``; exceptions carrying a liveness
+    dump are summarized inline (the full dump stays on the exception).
     """
 
     def __init__(self, failures: dict) -> None:
@@ -39,4 +86,13 @@ class SweepExecutionError(RuntimeError):
                 f"  point {idx}: scheme={config.scheme} pattern={config.pattern}"
                 f" vcs={config.num_vcs} load={config.load}: {exc!r}"
             )
+            dump = getattr(exc, "dump", None)
+            if dump:
+                lines.append(
+                    f"    dump: cycle={dump.get('cycle')}"
+                    f" reason={dump.get('reason')!r}"
+                    f" knots={len(dump.get('cwg_knots', []))}"
+                    f" stalled_nis={len(dump.get('interfaces', {}))}"
+                    " (full dump on .failures[idx][1].dump)"
+                )
         super().__init__("\n".join(lines))

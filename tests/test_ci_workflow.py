@@ -22,6 +22,7 @@ class TestWorkflow:
         assert "pull_request" in triggers and "push" in triggers
         assert set(workflow["jobs"]) == {
             "lint", "test", "smoke-benchmark", "engine-benchmark",
+            "fault-smoke",
         }
 
     def test_python_matrix(self, workflow):
@@ -44,6 +45,13 @@ class TestWorkflow:
         runs = " ".join(s.get("run") or "" for s in steps)
         assert "repro.experiments.runner smoke table1" in runs
         assert "--workers 4" in runs
+
+    def test_fault_smoke_runs_campaign_and_faulted_cli(self, workflow):
+        steps = workflow["jobs"]["fault-smoke"]["steps"]
+        runs = " ".join(s.get("run") or "" for s in steps)
+        assert "repro.experiments.runner smoke faults" in runs
+        assert "--fault consumer-stall:" in runs
+        assert "--watchdog" in runs and "--invariants-every" in runs
 
     def test_engine_benchmark_checks_baseline_and_uploads_artifact(self, workflow):
         steps = workflow["jobs"]["engine-benchmark"]["steps"]

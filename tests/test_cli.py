@@ -27,6 +27,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scheme", "XYZ"])
 
+    def test_fault_flags_build_specs(self):
+        args = build_parser().parse_args([
+            "run", "--fault", "consumer-stall:target=5,start=600,duration=100",
+            "--fault", "token-loss:start=900",
+            "--invariants-every", "250", "--watchdog", "8000",
+        ])
+        from repro.cli import _config
+
+        cfg = _config(args, 0.001)
+        assert [f.kind for f in cfg.faults] == ["consumer-stall", "token-loss"]
+        assert cfg.invariants_every == 250 and cfg.watchdog_timeout == 8000
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fault", "nonsense-kind"])
+
 
 class TestCommands:
     def test_run_command(self, capsys):
@@ -47,6 +63,32 @@ class TestCommands:
         data = json.loads(path.read_text())
         assert len(data["points"]) == 2
         assert data["points"][0]["load"] == 0.002
+
+    def test_faulted_run_reports_activations(self, capsys):
+        rc = main([
+            "run", "--scheme", "PR", "--pattern", "PAT271", "--vcs", "4",
+            "--dims", "4x4", "--load", "0.012", "--warmup", "1000",
+            "--measure", "3000", "--invariants-every", "250",
+            "--watchdog", "8000",
+            "--fault", "consumer-stall:target=5,start=600,duration=2000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "consumer-stall@5" in out and "activated 1x" in out
+
+    def test_wedged_run_exits_3_with_dump(self, capsys):
+        # Stall every consumer permanently: the watchdog must convert the
+        # hang into a diagnosed failure instead of spinning to --measure.
+        argv = ["run", "--scheme", "DR", "--pattern", "PAT271", "--vcs", "4",
+                "--dims", "4x4", "--load", "0.012", "--warmup", "500",
+                "--measure", "8000", "--watchdog", "800"]
+        for node in range(16):
+            argv += ["--fault", f"consumer-stall:target={node},start=200"]
+        rc = main(argv)
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "liveness watchdog" in err
+        assert "controller=stalled" in err
 
     def test_trace_command(self, tmp_path, capsys):
         path = tmp_path / "lu.trace"

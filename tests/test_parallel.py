@@ -4,7 +4,9 @@ import functools
 import io
 import json
 import os
+import pickle
 import tempfile
+import time
 
 import pytest
 
@@ -12,7 +14,7 @@ from repro.config import ExecutionConfig, SimConfig
 from repro.sim import parallel
 from repro.sim.parallel import ResultCache, point_key, run_points
 from repro.sim.sweep import run_point, run_sweep
-from repro.util.errors import SweepExecutionError
+from repro.util.errors import LivenessError, PointTimeoutError, SweepExecutionError
 from repro.util.progress import ProgressReporter, format_eta
 
 WARMUP = 100
@@ -39,6 +41,29 @@ def _counting_point(counter_dir, config, warmup, measure):
     fd, _ = tempfile.mkstemp(prefix=f"load{config.load}-", dir=counter_dir)
     os.close(fd)
     return run_point(config, warmup, measure)
+
+
+def _hung_point(config, warmup, measure):
+    """A wedged engine from the pool's point of view: never returns."""
+    time.sleep(600)
+
+
+def _slow_once_point(marker_dir, config, warmup, measure):
+    """Hangs on the first attempt per load, runs normally on the retry."""
+    marker = os.path.join(marker_dir, f"slow-{config.load}")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("1")
+        time.sleep(600)
+    return run_point(config, warmup, measure)
+
+
+def _wedged_point(config, warmup, measure):
+    """Raises the engine watchdog's error, dump attached."""
+    raise LivenessError(
+        "no forward progress", {"cycle": 4242, "reason": "test wedge",
+                                "cwg_knots": [["vc1", "vc2"]]},
+    )
 
 
 def _flaky_point(marker_dir, config, warmup, measure):
@@ -173,6 +198,68 @@ class TestCrashHandling:
         message = str(excinfo.value)
         assert "load=0.004" in message and "scheme=PR" in message
         assert len(excinfo.value.failures) == len(LOADS)
+
+
+class TestPointTimeout:
+    def test_hung_point_times_out_and_is_reported(self):
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_points([tiny_config()], WARMUP, MEASURE, workers=1,
+                       point_fn=_hung_point, retries=0, timeout=1.0)
+        (config, exc) = excinfo.value.failures[0]
+        assert isinstance(exc, PointTimeoutError)
+        assert exc.timeout == 1.0
+        assert config.load == tiny_config().load
+        assert "wall-clock timeout" in str(excinfo.value)
+
+    def test_timed_out_point_is_retried(self, tmp_path):
+        # First attempt hangs and is killed; the retry completes and the
+        # batch succeeds — a transient wedge must not fail a campaign.
+        marker_dir = tmp_path / "slow"
+        marker_dir.mkdir()
+        slow_once = functools.partial(_slow_once_point, str(marker_dir))
+        results = run_points([tiny_config()], WARMUP, MEASURE, workers=1,
+                             point_fn=slow_once, retries=1, timeout=2.0)
+        assert results == run_points([tiny_config()], WARMUP, MEASURE)
+        assert len(list(marker_dir.iterdir())) == 1  # hung exactly once
+
+    def test_healthy_points_survive_a_hung_sibling(self):
+        # One wedged point in the wave must not take down the others.
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_points(tiny_configs(), WARMUP, MEASURE, workers=3,
+                       point_fn=_picky_point, retries=0, timeout=5.0)
+        failures = excinfo.value.failures
+        assert list(failures) == [1]  # only the hung load
+        assert isinstance(failures[1][1], PointTimeoutError)
+
+    def test_liveness_dump_survives_the_worker_pool(self):
+        # The diagnosing exception pickles back intact, dump and all.
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_points([tiny_config()], WARMUP, MEASURE, workers=2,
+                       point_fn=_wedged_point, retries=0)
+        exc = excinfo.value.failures[0][1]
+        assert isinstance(exc, LivenessError)
+        assert exc.dump["cycle"] == 4242
+        assert "dump: cycle=4242" in str(excinfo.value)
+
+    def test_point_timeout_error_pickles(self):
+        exc = PointTimeoutError(2.5, tiny_config())
+        clone = pickle.loads(pickle.dumps(exc))
+        assert clone.timeout == 2.5
+        assert clone.config == tiny_config()
+
+    def test_point_timeout_validation(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(point_timeout=0)
+        assert ExecutionConfig(point_timeout=1.5).point_timeout == 1.5
+
+
+def _picky_point(config, warmup, measure):
+    """Hangs on the middle load only; the rest run normally."""
+    if config.load == LOADS[1]:
+        time.sleep(600)
+    return run_point(config, warmup, measure)
 
 
 class TestExecutionConfig:
