@@ -113,6 +113,14 @@ def _config(args, load: float) -> SimConfig:
 
 def cmd_run(args) -> int:
     engine = Engine(_config(args, args.load))
+    tracer = None
+    if args.trace or args.json or args.timeseries:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer(
+            level=args.trace_level, sample_every=args.sample_every
+        )
+        engine.attach_tracer(tracer)
     try:
         window = engine.run_measured(args.warmup, args.measure)
     except (LivenessError, InvariantViolation) as exc:
@@ -120,6 +128,8 @@ def cmd_run(args) -> int:
         if exc.dump is not None:
             print(format_dump(exc.dump), file=sys.stderr)
         return 3
+    if tracer is not None:
+        _export_run_telemetry(args, engine, tracer, window)
     nodes = engine.topology.num_nodes
     print(f"topology            : {engine.topology}")
     print(f"scheme              : {engine.scheme.describe()}")
@@ -134,6 +144,58 @@ def cmd_run(args) -> int:
     print("\nper-type breakdown (whole run):")
     print(format_breakdown(engine.stats))
     return 0
+
+
+def _export_run_telemetry(args, engine, tracer, window) -> None:
+    """Write the run's trace/time-series/JSON artifacts (``repro run``)."""
+    from dataclasses import asdict
+
+    from repro.telemetry import (
+        export_perfetto,
+        export_timeseries_csv,
+        stitch_episodes,
+    )
+
+    episodes = stitch_episodes(tracer)
+    if args.trace:
+        export_perfetto(tracer, args.trace)
+        print(f"wrote {args.trace} ({tracer.events_recorded} events,"
+              f" {tracer.dropped_events} dropped)")
+    if args.timeseries:
+        export_timeseries_csv(tracer, args.timeseries)
+        print(f"wrote {args.timeseries} ({len(tracer.samples)} samples)")
+    if args.json:
+        stats = engine.stats
+        nodes = engine.topology.num_nodes
+        payload = {
+            "scheme": engine.scheme.name,
+            "pattern": engine.config.pattern,
+            "dims": list(engine.config.dims),
+            "num_vcs": engine.config.num_vcs,
+            "load": engine.config.load,
+            "seed": engine.config.seed,
+            "window": {
+                **asdict(window),
+                "throughput_fpc": window.throughput_fpc(nodes),
+                "mean_latency": window.mean_latency(),
+                "normalized_deadlocks": window.normalized_deadlocks(),
+            },
+            "by_type": stats.by_type,
+            "messages_created": stats.messages_created,
+            "first_deadlock_cycle": stats.first_deadlock_cycle,
+            "faults": (
+                engine.faults.activation_counts()
+                if engine.faults is not None else {}
+            ),
+            "episodes": [epi.to_dict() for epi in episodes],
+        }
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"wrote {args.json}")
 
 
 def cmd_sweep(args) -> int:
@@ -194,6 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", type=float, default=0.008)
     p.add_argument("--warmup", type=int, default=2000)
     p.add_argument("--measure", type=int, default=8000)
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome/Perfetto trace-event JSON file")
+    p.add_argument("--trace-level", default="message",
+                   choices=["message", "flit"],
+                   help="flit adds VC grants and per-hop token movement")
+    p.add_argument("--sample-every", type=int, default=0, metavar="N",
+                   help="sample time-series metrics every N cycles (0 = off)")
+    p.add_argument("--timeseries", metavar="PATH",
+                   help="write sampled metrics as CSV (needs --sample-every)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write machine-readable results ('-' for stdout)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="load sweep -> Burton curve")

@@ -35,8 +35,18 @@ class DeflectionController:
 
     def step(self, now: int) -> None:
         drain = self.scheme.config.recovery_policy == "drain"
+        tracer = self.scheme.tracer
         for det in self.detectors:
-            if det.step(now) and self._try_deflect(det, now):
+            if not det.step(now):
+                continue
+            if tracer is not None and not det.episode_counted:
+                # First firing of this stalled episode (the reset below
+                # and any queue progress both rearm the flag).
+                det.episode_counted = True
+                tracer.detection(
+                    det.ni.node, det.in_cls, det.out_cls, det.since, now
+                )
+            if self._try_deflect(det, now):
                 if drain:
                     # DASH behaviour (paper footnote 4): keep removing
                     # queue heads until one would generate a terminating
@@ -98,4 +108,7 @@ class DeflectionController:
         stats.on_created(brp)
         stats.on_consumed(head, now)
         stats.on_deadlock(now, resolved=True)
+        tracer = scheme.tracer
+        if tracer is not None:
+            tracer.deflection(ni.node, head, brp, det.since, now)
         return True

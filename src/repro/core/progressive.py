@@ -168,14 +168,26 @@ class ProgressiveController:
         # per-stop timers individually.
         self.token_regenerations = 0
         self._token_lost_for = 0
+        #: telemetry hook (repro.telemetry.Tracer) or None.
+        self.tracer = None
+        #: (src_router, dst_router) of the lane leg in flight.
+        self._leg_route: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
         # Detectors always run so episode timing is continuous.
         self._fired = {}
+        tracer = self.tracer
         for det in self.detectors:
             if det.step(now):
                 self._fired[det.ni.node] = True
+                if tracer is not None and not det.episode_counted:
+                    # First firing of this stalled episode (queue
+                    # progress or a reset rearms the flag).
+                    det.episode_counted = True
+                    tracer.detection(
+                        det.ni.node, det.in_cls, det.out_cls, det.since, now
+                    )
         if self.phase == ProgressiveController.IDLE:
             self._circulate(now)
         elif self.phase == ProgressiveController.LANE:
@@ -228,12 +240,14 @@ class ProgressiveController:
     def _capture_at_ni(self, stop: Stop, now: int) -> None:
         ni = self.engine.interfaces[stop.ident]
         head = None
+        since = now
         for det in self._dets_by_node.get(stop.ident, ()):  # pick a fired pair
             if self._fired.get(stop.ident):
                 candidate = det.head()
                 if candidate is not None and candidate.continuation:
                     head = candidate
                     in_q = ni.in_bank.queue(det.in_cls)
+                    since = det.since
                     break
         if head is None:
             return
@@ -241,6 +255,8 @@ class ProgressiveController:
         self.capture_stop = stop
         self.ni_captures += 1
         self._count_deadlock(now)
+        if self.tracer is not None:
+            self.tracer.token_captured(stop, head, since, now)
         in_q.pop()
         head.rescued = True
         if head.transaction is not None:
@@ -257,6 +273,8 @@ class ProgressiveController:
         self.capture_stop = stop
         self.router_captures += 1
         self._count_deadlock(now)
+        if self.tracer is not None:
+            self.tracer.token_captured(stop, msg, msg.blocked_since, now)
         msg.rescued = True
         if msg.transaction is not None:
             msg.transaction.rescues += 1
@@ -264,8 +282,11 @@ class ProgressiveController:
         src_router = sender.router
         dst_router = self.topology.router_of_node(msg.dst)
         self._leg_msg = msg
+        self._leg_route = (src_router, dst_router)
         self.lane.start(sender, src_router, dst_router, msg)
         self.phase = ProgressiveController.LANE
+        if self.tracer is not None:
+            self.tracer.rescue_leg(msg, src_router, dst_router, "start", now)
 
     def _count_deadlock(self, now: int) -> None:
         self.rescues += 1
@@ -300,8 +321,11 @@ class ProgressiveController:
         src_router = self.topology.router_of_node(frame.node)
         dst_router = self.topology.router_of_node(msg.dst)
         self._leg_msg = msg
+        self._leg_route = (src_router, dst_router)
         self.lane.start(DmbSource(msg), src_router, dst_router, msg)
         self.phase = ProgressiveController.LANE
+        if self.tracer is not None:
+            self.tracer.rescue_leg(msg, src_router, dst_router, "start", now)
 
     def _on_lane_arrival(self, now: int) -> None:
         """The rescued packet is complete in the destination DMB."""
@@ -311,6 +335,11 @@ class ProgressiveController:
         ni = self.engine.interfaces[node]
         msg.delivered_cycle = now
         self.engine.stats.on_delivered(msg, now)
+        if self.tracer is not None:
+            route = self._leg_route or (-1, -1)
+            self.tracer.rescue_leg(msg, route[0], route[1], "arrival", now)
+            self.tracer.message_delivered(msg, now)
+        self._leg_route = None
         in_q = ni.in_bank.queue(self.scheme.queue_class_of(msg.mtype))
         if msg.has_reservation and in_q.reserved > 0:
             in_q.reserved -= 1

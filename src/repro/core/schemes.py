@@ -63,6 +63,8 @@ class Scheme(ABC):
         self.sink_time = config.sink_time
         self._type_index = {n: i for i, n in enumerate(self.types_used)}
         self.engine = None
+        #: telemetry hook (repro.telemetry.Tracer) or None.
+        self.tracer = None
         # Statistics common to all schemes.
         self.deadlocks_detected = 0
         self.recoveries = 0
@@ -366,6 +368,10 @@ class DetectionOnly(Scheme):
                     det.episode_counted = True
                     self.deadlocks_detected += 1
                     self.engine.stats.on_deadlock(now, resolved=False)
+                    if self.tracer is not None:
+                        self.tracer.detection(
+                            det.ni.node, det.in_cls, det.out_cls, det.since, now
+                        )
 
 
 SCHEMES = {

@@ -80,6 +80,10 @@ class Token:
         self.lost = False
         self.duplicates = 0
         self.regenerations = 0
+        #: telemetry hook (repro.telemetry.Tracer) or None.  Capture is
+        #: traced by the progressive controller (which knows the rescued
+        #: message); the token itself traces movement and release.
+        self.tracer = None
 
     @property
     def at(self) -> Stop:
@@ -94,7 +98,10 @@ class Token:
         self.pos = (self.pos + 1) % len(self.stops)
         if self.pos == 0:
             self.laps += 1
-        return self.stops[self.pos]
+        stop = self.stops[self.pos]
+        if self.tracer is not None:
+            self.tracer.token_hop(stop, self.tracer.engine.now)
+        return stop
 
     def capture(self, stop: Stop) -> None:
         if self.state != Token.CIRCULATING:  # pragma: no cover - guarded
@@ -114,6 +121,10 @@ class Token:
                 pass
         self.state = Token.CIRCULATING
         self.holder = None
+        if self.tracer is not None:
+            self.tracer.token_released(
+                self.stops[self.pos], self.tracer.engine.now
+            )
 
     # -- fault hooks (driven by repro.faults.injector) ------------------
     def lose(self) -> bool:
@@ -133,3 +144,5 @@ class Token:
         self.state = Token.CIRCULATING
         self.holder = None
         self.regenerations += 1
+        if self.tracer is not None:
+            self.tracer.token_regenerated(self.tracer.engine.now)

@@ -61,6 +61,8 @@ class MemoryController:
         #: fault hook (repro.faults): a stalled controller services
         #: nothing — the consumer-stall model of a wedged memory system.
         self.stalled = False
+        #: telemetry hook (repro.telemetry.Tracer) or None.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @property
@@ -191,12 +193,16 @@ class MemoryController:
             sub.vc_class = self.policy.vc_class_of(spec.mtype)
             sub.has_reservation = self.policy.wants_reservation(spec.mtype)
             self.stats.on_created(sub)
+            if self.tracer is not None:
+                self.tracer.message_created(sub, now)
             subs.append(sub)
         return subs
 
     def _account_consumption(self, msg: Message, now: int) -> None:
         msg.consumed_cycle = now
         self.stats.on_consumed(msg, now)
+        if self.tracer is not None:
+            self.tracer.message_consumed(msg, now)
         txn = msg.transaction
         if txn is not None:
             txn.outstanding -= 1

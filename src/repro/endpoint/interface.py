@@ -61,6 +61,8 @@ class NetworkInterface:
         ]
         #: Deadlock message buffer; managed by progressive recovery.
         self.dmb: Message | None = None
+        #: telemetry hook (repro.telemetry.Tracer) or None.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Fabric-facing hooks
@@ -74,6 +76,8 @@ class NetworkInterface:
         self.in_bank.queue(cls).commit(msg)
         msg.delivered_cycle = now
         self.stats.on_delivered(msg, now)
+        if self.tracer is not None:
+            self.tracer.message_delivered(msg, now)
 
     # ------------------------------------------------------------------
     # Per-cycle work
@@ -82,6 +86,8 @@ class NetworkInterface:
         """Hand a freshly generated transaction root to the NI."""
         self.stats.on_created(root)
         self.source_queue.append(root)
+        if self.tracer is not None:
+            self.tracer.message_created(root, root.created_cycle)
 
     def step(self, now: int) -> None:
         if self.source_queue:
@@ -113,6 +119,8 @@ class NetworkInterface:
             out_q.push(root)
             self.outstanding += 1
             self.stats.on_admitted(root, now)
+            if self.tracer is not None:
+                self.tracer.message_admitted(root, now)
 
     def on_transaction_complete(self) -> None:
         """Free the MSHR held by a completed transaction."""

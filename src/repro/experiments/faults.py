@@ -83,7 +83,8 @@ def _specs_for(model: str, cs: CampaignScale) -> tuple[FaultSpec, ...]:
     )
 
 
-def _run_cell(scheme: str, model: str, cs: CampaignScale, seed: int) -> dict:
+def _run_cell(scheme: str, model: str, cs: CampaignScale, seed: int,
+              tracer=None) -> dict:
     config = SimConfig(
         dims=(4, 4),
         scheme=scheme,
@@ -97,6 +98,8 @@ def _run_cell(scheme: str, model: str, cs: CampaignScale, seed: int) -> dict:
         **_SCHEME_CONFIG[scheme],
     )
     engine = Engine(config)
+    if tracer is not None:
+        engine.attach_tracer(tracer)
     engine.run(cs.run_cycles)
     drained = engine.quiesce(cs.quiesce_cycles)
     if not drained:

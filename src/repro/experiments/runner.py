@@ -33,6 +33,7 @@ from repro.experiments import (
     fig11_queues,
     table1_responses,
     table3_distributions,
+    telemetry,
     trace_deadlocks,
 )
 from repro.sim.parallel import DEFAULT_CACHE_DIR, set_default_execution
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "fig11": fig11_queues,
     "ablations": ablations,
     "faults": faults,
+    "telemetry": telemetry,
 }
 
 

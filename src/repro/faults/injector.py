@@ -35,6 +35,8 @@ class _Fault:
             if 0 <= self.active_until <= now:
                 self.revoke(engine)
                 self.active = False
+                if engine.tracer is not None:
+                    engine.tracer.fault_revoked(spec.describe(), now)
             else:
                 return
         if self.done or now < spec.start:
@@ -46,6 +48,8 @@ class _Fault:
             return  # cycle-scheduled faults fire exactly once
         if not self.apply(engine, now):
             return  # not applicable yet (e.g. token currently held)
+        if engine.tracer is not None:
+            engine.tracer.fault_applied(spec.describe(), now)
         self.activations += 1
         if spec.kind in EVENT_KINDS:
             self.done = True

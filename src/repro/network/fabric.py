@@ -92,6 +92,11 @@ class Fabric:
         self.stalled_routers: set[int] = set()
         self.stalled_ejects: set[int] = set()
 
+        #: telemetry hook (repro.telemetry.Tracer) or None; allocation
+        #: outcomes are the only fabric events traced — `_phase_links`
+        #: stays hook-free because it is the simulator's hottest loop.
+        self.tracer = None
+
         # Statistics
         self.flits_forwarded = 0
         self.flits_injected = 0
@@ -141,6 +146,8 @@ class Fabric:
         if msg.dst_router < 0:
             msg.dst_router = self.topology.router_of_node(msg.dst)
         self.pending.append(chan)
+        if self.tracer is not None:
+            self.tracer.message_injected(msg, now)
 
     # ------------------------------------------------------------------
     # Cycle phases
@@ -179,6 +186,7 @@ class Fabric:
         link_senders = self.link_senders
         busy_add = self._busy_links.add
         frozen = self.stalled_routers
+        tracer = self.tracer
         for sender in pending:
             msg = sender.owner
             if msg is None:  # rescued or otherwise detached meanwhile
@@ -191,6 +199,8 @@ class Fabric:
                 # failure — the packet is a fault victim, not contended.
                 if msg.blocked_since < 0:
                     msg.blocked_since = now
+                if tracer is not None:
+                    tracer.message_blocked(msg, sender.router, now)
                 still.append(sender)
                 continue
             dst_router = msg.dst_router
@@ -203,6 +213,8 @@ class Fabric:
                     port.senders.append(sender)
                     self._eject_active.add(msg.dst)
                     msg.blocked_since = -1
+                    if tracer is not None:
+                        tracer.message_unblocked(msg, now)
                     continue
             else:
                 allocated = False
@@ -217,11 +229,15 @@ class Fabric:
                         break
                 if allocated:
                     msg.blocked_since = -1
+                    if tracer is not None:
+                        tracer.vc_granted(msg, sender.router, sender.next_sink, now)
                     continue
             # Blocked: keep waiting; stamp the start of the blocked episode.
             if msg.blocked_since < 0:
                 msg.blocked_since = now
             self.alloc_failures += 1
+            if tracer is not None:
+                tracer.message_blocked(msg, sender.router, now)
             still.append(sender)
         # Rotate for fairness so the same frontier does not always win ties.
         if len(still) > 1:

@@ -85,6 +85,9 @@ class Engine:
         self.traffic.attach(self)
         self.now = 0
         self.cwg_knots_seen = 0
+        #: telemetry tracer (``repro.telemetry.Tracer``) or None; kept
+        #: off SimConfig so trace settings never perturb cache keys.
+        self.tracer = None
         # Hoisted config read for the per-cycle loop.
         self._cwg_interval = config.cwg_interval
         # Robustness layer: both default to None so the healthy hot path
@@ -101,6 +104,12 @@ class Engine:
             )
             if config.invariants_every or config.watchdog_timeout else None
         )
+
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`repro.telemetry.Tracer` on every hook site."""
+        self.tracer = tracer
+        tracer.attach(self)
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -120,6 +129,8 @@ class Engine:
             if knots:
                 self.cwg_knots_seen += len(knots)
         self.stats.on_cycle(now)
+        if self.tracer is not None:
+            self.tracer.on_cycle(now)
         if self.invariants is not None:
             self.invariants.on_cycle(now)
 

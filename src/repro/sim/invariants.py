@@ -212,6 +212,14 @@ def capture_dump(engine, reason: str = "") -> dict:
     if engine.faults is not None:
         dump["active_faults"] = engine.faults.active_descriptions()
         dump["fault_activations"] = engine.faults.activation_counts()
+
+    tracer = getattr(engine, "tracer", None)
+    if tracer is not None:
+        from repro.telemetry.episodes import stitch_episodes
+
+        dump["episodes"] = [
+            epi.to_dict() for epi in stitch_episodes(tracer)
+        ]
     return dump
 
 
@@ -258,6 +266,17 @@ def format_dump(dump: dict) -> str:
     for knot in knots[:4]:
         lines.append(f"    knot[{len(knot)}]: {', '.join(knot[:8])}"
                      + (" ..." if len(knot) > 8 else ""))
+    episodes = dump.get("episodes")
+    if episodes is not None:
+        lines.append(f"  recovery episodes: {len(episodes)}")
+        for epi in episodes[-4:]:
+            lines.append(
+                f"    ep {epi['index']}: form={epi['formation_cycle']}"
+                f" detect={epi['detection_cycle']}"
+                f" resolve={epi['resolution_cycle']}"
+                f" drain={epi['drain_cycle']}"
+                f" msgs={len(epi['involved'])}"
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,213 @@
+"""Fold traced events into per-deadlock :class:`RecoveryEpisode` records.
+
+An episode is one wave of message-dependent deadlock, reconstructed
+from the trace as **formation → detection → resolution → drain**:
+
+* *formation* — the earliest condition onset (the ``since`` field of a
+  detection/recovery event: when the detector's timeout countdown, the
+  deflection head's stall, or the captured message's block began);
+* *detection* — the first scheme *action* cycle (a DR deflection or a
+  PR token capture; for detection-only schemes, the detector firing).
+  This is the cycle :meth:`SimStats.on_deadlock` records, so episode 0's
+  detection matches the fault campaign's ``detect`` column;
+* *resolution* — when recovery pushed its fix: the first BRP deflection
+  (DR, same cycle as detection) or the token release ending the rescue
+  (PR);
+* *drain* — when every message the episode touched was consumed.
+
+Recovery events with a ``since`` at or before the current episode's
+resolution belong to the same wave; a later onset starts a new episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.telemetry import events as ev
+
+
+@dataclass
+class RecoveryEpisode:
+    """One deadlock's reconstructed timeline and traffic bill."""
+
+    index: int
+    formation_cycle: int
+    detection_cycle: int
+    resolution_cycle: int | None = None
+    drain_cycle: int | None = None
+    detections: int = 0
+    deflections: int = 0
+    captures: int = 0
+    releases: int = 0
+    rescue_legs: int = 0
+    #: local ids of messages the episode touched (victims + BRPs).
+    involved: list[int] = field(default_factory=list)
+    #: labels for ``involved``, index-aligned.
+    involved_labels: list[str] = field(default_factory=list)
+    #: local ids of extra traffic the recovery itself generated (BRPs).
+    extra_messages: list[int] = field(default_factory=list)
+
+    # -- latencies -----------------------------------------------------
+    @property
+    def detection_latency(self) -> int:
+        """Cycles from condition formation to the scheme's first action."""
+        return self.detection_cycle - self.formation_cycle
+
+    @property
+    def resolution_latency(self) -> int | None:
+        """Cycles from detection to the recovery push (0 for DR)."""
+        if self.resolution_cycle is None:
+            return None
+        return self.resolution_cycle - self.detection_cycle
+
+    @property
+    def drain_latency(self) -> int | None:
+        """Cycles from resolution until every involved message drained."""
+        if self.drain_cycle is None or self.resolution_cycle is None:
+            return None
+        return self.drain_cycle - self.resolution_cycle
+
+    @property
+    def resolved(self) -> bool:
+        return self.resolution_cycle is not None
+
+    @property
+    def drained(self) -> bool:
+        return self.drain_cycle is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "formation_cycle": self.formation_cycle,
+            "detection_cycle": self.detection_cycle,
+            "resolution_cycle": self.resolution_cycle,
+            "drain_cycle": self.drain_cycle,
+            "detection_latency": self.detection_latency,
+            "resolution_latency": self.resolution_latency,
+            "drain_latency": self.drain_latency,
+            "detections": self.detections,
+            "deflections": self.deflections,
+            "captures": self.captures,
+            "releases": self.releases,
+            "rescue_legs": self.rescue_legs,
+            "involved": list(self.involved_labels),
+            "extra_messages": len(self.extra_messages),
+        }
+
+
+class _Stitcher:
+    """Single forward pass over the ring buffer."""
+
+    def __init__(self) -> None:
+        self.episodes: list[RecoveryEpisode] = []
+        self.current: RecoveryEpisode | None = None
+        #: episode -> set of involved mids not yet consumed.
+        self.pending: dict[int, set[int]] = {}
+
+    # -- episode bookkeeping -------------------------------------------
+    def _open_or_extend(self, since: int, cycle: int) -> RecoveryEpisode:
+        epi = self.current
+        if epi is not None and (
+            epi.resolution_cycle is None or since <= epi.resolution_cycle
+        ):
+            if since < epi.formation_cycle:
+                epi.formation_cycle = since
+            return epi
+        epi = RecoveryEpisode(
+            index=len(self.episodes),
+            formation_cycle=since,
+            detection_cycle=cycle,
+        )
+        self.episodes.append(epi)
+        self.pending[epi.index] = set()
+        self.current = epi
+        return epi
+
+    def _involve(self, epi: RecoveryEpisode, mid: int, label: str) -> None:
+        if mid not in epi.involved:
+            epi.involved.append(mid)
+            epi.involved_labels.append(label)
+            self.pending[epi.index].add(mid)
+
+    # -- event dispatch ------------------------------------------------
+    def feed(self, cycle: int, kind: str, payload: dict, label_of) -> None:
+        if kind == ev.DETECT:
+            epi = self._open_or_extend(payload["since"], cycle)
+            epi.detections += 1
+        elif kind == ev.DEFLECT:
+            epi = self._open_or_extend(payload["since"], cycle)
+            epi.deflections += 1
+            self._involve(epi, payload["head_mid"], payload["head"])
+            self._involve(epi, payload["brp_mid"], payload["brp"])
+            if payload["brp_mid"] not in epi.extra_messages:
+                epi.extra_messages.append(payload["brp_mid"])
+            if epi.resolution_cycle is None:
+                epi.resolution_cycle = cycle
+        elif kind == ev.TOKEN_CAPTURE:
+            epi = self._open_or_extend(payload["since"], cycle)
+            epi.captures += 1
+            self._involve(epi, payload["mid"], payload["message"])
+        elif kind == ev.TOKEN_RELEASE:
+            epi = self.current
+            if epi is not None:
+                epi.releases += 1
+                if epi.resolution_cycle is None:
+                    epi.resolution_cycle = cycle
+        elif kind == ev.RESCUE_LEG:
+            epi = self.current
+            if epi is not None and payload["phase"] == "start":
+                epi.rescue_legs += 1
+                self._involve(epi, payload["mid"], label_of(payload["mid"]))
+        elif kind == ev.CONSUMED:
+            mid = payload["mid"]
+            for epi in self.episodes:
+                waiting = self.pending[epi.index]
+                if mid in waiting:
+                    waiting.discard(mid)
+                    if not waiting and epi.resolved:
+                        epi.drain_cycle = cycle
+
+
+def stitch_episodes(tracer) -> list[RecoveryEpisode]:
+    """Reconstruct deadlock episodes from a tracer's ring buffer."""
+    stitcher = _Stitcher()
+    for cycle, kind, payload in tracer.events:
+        stitcher.feed(cycle, kind, payload, tracer.label_of)
+    return stitcher.episodes
+
+
+_COLUMNS = (
+    ("ep", lambda e: str(e.index)),
+    ("form", lambda e: str(e.formation_cycle)),
+    ("detect", lambda e: str(e.detection_cycle)),
+    ("resolve", lambda e: "-" if e.resolution_cycle is None
+     else str(e.resolution_cycle)),
+    ("drain", lambda e: "-" if e.drain_cycle is None
+     else str(e.drain_cycle)),
+    ("d.lat", lambda e: str(e.detection_latency)),
+    ("r.lat", lambda e: "-" if e.resolution_latency is None
+     else str(e.resolution_latency)),
+    ("msgs", lambda e: str(len(e.involved))),
+    ("brp", lambda e: str(len(e.extra_messages))),
+    ("legs", lambda e: str(e.rescue_legs)),
+)
+
+
+def format_episodes(episodes: list[RecoveryEpisode]) -> str:
+    """Render episodes as an aligned table (dump / experiment output)."""
+    if not episodes:
+        return "no recovery episodes"
+    headers = [name for name, _ in _COLUMNS]
+    rows = [[fmt(e) for _, fmt in _COLUMNS] for e in episodes]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

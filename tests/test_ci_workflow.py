@@ -21,8 +21,8 @@ class TestWorkflow:
         triggers = workflow.get("on", workflow.get(True))
         assert "pull_request" in triggers and "push" in triggers
         assert set(workflow["jobs"]) == {
-            "lint", "test", "smoke-benchmark", "engine-benchmark",
-            "fault-smoke",
+            "lint", "typecheck", "test", "smoke-benchmark",
+            "engine-benchmark", "fault-smoke",
         }
 
     def test_python_matrix(self, workflow):
@@ -32,6 +32,12 @@ class TestWorkflow:
     def test_lint_runs_ruff(self, workflow):
         steps = workflow["jobs"]["lint"]["steps"]
         assert any("ruff check" in (s.get("run") or "") for s in steps)
+
+    def test_typecheck_runs_mypy_on_package(self, workflow):
+        steps = workflow["jobs"]["typecheck"]["steps"]
+        runs = " ".join(s.get("run") or "" for s in steps)
+        assert "pip install mypy" in runs
+        assert "mypy src/repro" in runs
 
     def test_test_job_runs_pytest_with_src_on_path(self, workflow):
         steps = workflow["jobs"]["test"]["steps"]
@@ -64,8 +70,20 @@ class TestWorkflow:
         assert upload["if"] == "always()"
         assert upload["with"]["name"] == "BENCH_engine"
 
+    def test_engine_benchmark_has_trace_overhead_guard(self, workflow):
+        steps = workflow["jobs"]["engine-benchmark"]["steps"]
+        guard = next(
+            s for s in steps
+            if "--traced" in (s.get("run") or "")
+        )
+        # Disabled hooks must be free: 2% bound against the report the
+        # previous step wrote on the same runner.
+        assert "--tolerance 0.02" in guard["run"]
+        assert "--check BENCH_engine.ci.json" in guard["run"]
+
     def test_gitignore_covers_generated_dirs(self):
         gitignore = (WORKFLOW.parents[2] / ".gitignore").read_text("utf-8")
         for entry in ("*.egg-info/", "__pycache__/", ".pytest_cache/",
-                      ".hypothesis/", ".benchmarks/", ".repro_cache/"):
+                      ".hypothesis/", ".benchmarks/", ".repro_cache/",
+                      "results/", "BENCH_engine.ci.json"):
             assert entry in gitignore

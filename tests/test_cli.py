@@ -90,6 +90,45 @@ class TestCommands:
         assert "FAILED" in err and "liveness watchdog" in err
         assert "controller=stalled" in err
 
+    def test_run_json_to_stdout(self, capsys):
+        rc = main([
+            "run", "--scheme", "PR", "--pattern", "PAT271", "--vcs", "4",
+            "--dims", "4x4", "--load", "0.012", "--warmup", "600",
+            "--measure", "2000", "--json", "-",
+            "--fault", "consumer-stall:target=5,start=600,duration=1200",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[:out.index("\n}") + 2])
+        assert payload["scheme"] == "PR" and payload["dims"] == [4, 4]
+        assert payload["window"]["messages_delivered"] > 0
+        assert "throughput_fpc" in payload["window"]
+        assert payload["by_type"]  # per-type breakdown is present
+        assert payload["faults"] == {
+            "consumer-stall@5[start=600,dur=1200]": 1
+        }
+        assert payload["first_deadlock_cycle"] > 0
+        assert payload["episodes"][0]["detection_cycle"] == (
+            payload["first_deadlock_cycle"]
+        )
+
+    def test_run_trace_and_timeseries_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        series = tmp_path / "run.csv"
+        rc = main([
+            "run", "--dims", "4x4", "--load", "0.004", "--warmup", "200",
+            "--measure", "600", "--trace", str(trace), "--trace-level",
+            "flit", "--sample-every", "50", "--timeseries", str(series),
+        ])
+        assert rc == 0
+        from repro.experiments.telemetry import validate_perfetto
+
+        validate_perfetto(json.loads(trace.read_text()))
+        header = series.read_text().splitlines()[0]
+        assert header.startswith("cycle,busy_links,")
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out and f"wrote {series}" in out
+
     def test_trace_command(self, tmp_path, capsys):
         path = tmp_path / "lu.trace"
         rc = main(["trace", "lu", str(path), "--duration", "3000"])

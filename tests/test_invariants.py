@@ -209,6 +209,40 @@ class TestDumps:
         assert "active fault: consumer-stall@5" in text
         assert "token:" in text  # PR section present
 
+    def test_format_dump_renders_pr_token_state(self):
+        e = busy_engine()
+        token = e.scheme.controller.token
+        dump = capture_dump(e, reason="probe")
+        assert dump["token"]["state"] == token.state
+        assert dump["token"]["pos"] == token.pos
+        assert dump["token"]["captures"] == token.captures
+        text = format_dump(dump)
+        assert f"token: {token.state} at" in text
+        assert f"captures={token.captures}" in text
+        assert f"regen={token.regenerations}" in text
+
+    def test_untraced_dump_has_no_episodes(self):
+        e = busy_engine()
+        dump = capture_dump(e, reason="probe")
+        assert "episodes" not in dump
+        assert "recovery episodes" not in format_dump(dump)
+
+    def test_traced_dump_carries_episode_timeline(self):
+        from repro.telemetry import Tracer
+
+        e = busy_engine(load=0.018)  # heavy: PR rescues fire
+        e.attach_tracer(Tracer())
+        e.run(2400)
+        dump = capture_dump(e, reason="probe")
+        assert dump["episodes"], "heavy PAT271 run must have recovered"
+        text = format_dump(dump)
+        assert f"recovery episodes: {len(dump['episodes'])}" in text
+        last = dump["episodes"][-1]
+        assert f"ep {last['index']}: form={last['formation_cycle']}" in text
+        import json
+
+        json.dumps(dump)  # episodes keep the dump JSON-able
+
     def test_checker_interval_wiring(self):
         e = busy_engine(invariants_every=250)
         assert e.invariants is not None

@@ -1,0 +1,148 @@
+"""SimStats: measurement windows, per-type rows, deadlock bookkeeping."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import WindowCounters
+
+
+def engine(**kwargs) -> Engine:
+    defaults = dict(dims=(4, 4), scheme="PR", pattern="PAT271", num_vcs=4,
+                    load=0.008, seed=9)
+    defaults.update(kwargs)
+    return Engine(SimConfig(**defaults))
+
+
+class TestWindowCounters:
+    def test_empty_window_is_safe(self):
+        w = WindowCounters()
+        assert w.cycles == 1  # never divides by zero
+        assert w.mean_latency() == 0.0
+        assert w.throughput_fpc(16) == 0.0
+        assert w.normalized_deadlocks() == 0.0
+
+    def test_derived_metrics(self):
+        w = WindowCounters(start_cycle=100, end_cycle=600,
+                           messages_delivered=10, flits_delivered=40,
+                           latency_sum=250.0, deadlocks=1,
+                           deadlocks_unresolved=1)
+        assert w.cycles == 500
+        assert w.mean_latency() == 25.0
+        assert w.throughput_fpc(16) == 40 / (16 * 500)
+        assert w.normalized_deadlocks() == 2 / 10
+
+
+class TestWindowing:
+    def test_window_counts_only_while_open(self):
+        e = engine()
+        e.run(500)
+        before = e.stats.total.messages_delivered
+        assert e.stats.window is None and not e.stats.measuring
+
+        e.stats.begin_window(e.now)
+        assert e.stats.measuring
+        e.run(1500)
+        window = e.stats.end_window(e.now)
+        assert not e.stats.measuring
+
+        in_window = window.messages_delivered
+        assert in_window > 0
+        # The run total keeps counting; the window stops.
+        e.run(800)
+        assert window.messages_delivered == in_window
+        assert e.stats.total.messages_delivered > before + in_window
+        assert window.start_cycle == 500 and window.end_cycle == 2000
+
+    def test_window_is_a_subset_of_totals(self):
+        e = engine()
+        e.run(300)
+        e.stats.begin_window(e.now)
+        e.run(1200)
+        window = e.stats.end_window(e.now)
+        total = e.stats.total
+        assert window.messages_delivered <= total.messages_delivered
+        assert window.flits_delivered <= total.flits_delivered
+        assert window.latency_sum <= total.latency_sum
+        assert window.latency_max <= total.latency_max
+
+    def test_run_measured_convenience(self):
+        e = engine()
+        window = e.run_measured(400, 1000)
+        assert window.start_cycle == 400
+        assert window.end_cycle == 1400
+        assert window.messages_delivered > 0
+
+
+class TestByType:
+    def test_only_delivered_types_appear(self):
+        e = engine(pattern="PAT271")
+        e.run(1500)
+        by_type = e.stats.by_type
+        assert by_type, "traffic must have delivered something"
+        for name, row in by_type.items():
+            assert row["delivered"] > 0
+            assert row["flits"] >= row["delivered"]  # >= 1 flit/message
+            assert row["latency_sum"] >= row["network_sum"] >= 0
+        undelivered = set(
+            t.name for t in e.protocol.all_types
+        ) - set(by_type)
+        for name in undelivered:
+            assert e.stats._type_rows[name]["delivered"] == 0
+
+    def test_latency_decomposes_into_wait_plus_network(self):
+        e = engine()
+        e.run(2000)
+        for row in e.stats.by_type.values():
+            assert row["latency_sum"] == pytest.approx(
+                row["queue_wait_sum"] + row["network_sum"]
+            )
+
+    def test_type_totals_match_run_totals(self):
+        e = engine()
+        e.run(2000)
+        rows = e.stats.by_type.values()
+        assert sum(r["delivered"] for r in rows) == (
+            e.stats.total.messages_delivered
+        )
+        assert sum(r["flits"] for r in rows) == e.stats.total.flits_delivered
+
+
+class TestDeadlockBookkeeping:
+    def test_no_deadlock_means_unset_first_cycle(self):
+        e = engine(load=0.002)
+        e.run(1000)
+        assert e.stats.first_deadlock_cycle == -1
+
+    def test_first_deadlock_cycle_latches(self):
+        e = engine()
+        e.stats.on_deadlock(321, resolved=True)
+        e.stats.on_deadlock(654, resolved=True)
+        assert e.stats.first_deadlock_cycle == 321
+        assert e.stats.total.deadlocks == 2
+
+    def test_unresolved_deadlocks_counted_separately(self):
+        e = engine()
+        e.stats.on_deadlock(100, resolved=False)
+        assert e.stats.total.deadlocks == 0
+        assert e.stats.total.deadlocks_unresolved == 1
+        assert e.stats.first_deadlock_cycle == 100
+
+
+class TestLoadSampling:
+    def test_samples_track_injected_flits(self):
+        e = engine(load=0.008)
+        e.stats.enable_load_sampling(200)
+        e.run(2000)
+        samples = e.stats.load_samples
+        assert len(samples) == 10
+        assert all(s >= 0.0 for s in samples)
+        # Traffic flows: the mean injected flit rate is positive and
+        # bounded by the per-node injection bandwidth.
+        mean = sum(samples) / len(samples)
+        assert 0.0 < mean <= 1.0
+
+    def test_disabled_by_default(self):
+        e = engine()
+        e.run(1000)
+        assert e.stats.load_samples == []
