@@ -40,7 +40,7 @@ import time
 from pathlib import Path
 
 from repro import SimConfig
-from repro.sim.engine import Engine
+from repro.sim.engine import build_engine
 
 #: name -> engine kwargs.  Matches benchmarks/test_engine_speed.py.
 SCENARIOS = {
@@ -55,6 +55,10 @@ SCENARIOS = {
 #: Fast subset for CI smoke runs.
 SMOKE_SCENARIOS = ("PR_light_load", "PR_saturated")
 
+#: Report key for a scenario measured on a non-default backend.
+def scenario_key(name: str, backend: str) -> str:
+    return name if backend == "reference" else f"{name}@{backend}"
+
 WARMUP_CYCLES = 500
 MEASURE_CYCLES = 400
 
@@ -62,14 +66,20 @@ MEASURE_CYCLES = 400
 CALIBRATION_ITERS = 200_000
 
 
-def measure_scenario(name: str, *, rounds: int = 3, traced: bool = False) -> float:
+def measure_scenario(
+    name: str, *, rounds: int = 3, traced: bool = False,
+    backend: str = "reference",
+) -> float:
     """Best-of-``rounds`` cycles/second (CPU time) for one scenario.
 
     ``traced`` attaches a message-level tracer (the always-on telemetry
-    configuration), measuring the cost of live event recording.
+    configuration), measuring the cost of live event recording; it is
+    reference-only, as is tracing itself.
     """
     kw = dict(SCENARIOS[name])
-    engine = Engine(SimConfig(pattern="PAT721", seed=3, **kw))
+    engine = build_engine(
+        SimConfig(pattern="PAT721", seed=3, backend=backend, **kw)
+    )
     if traced:
         from repro.telemetry import Tracer
 
@@ -133,20 +143,34 @@ def machine_info() -> dict:
     }
 
 
-def build_report(names, rounds: int, traced: bool = False) -> dict:
+def build_report(
+    names, rounds: int, traced: bool = False,
+    backends: tuple[str, ...] = ("reference",),
+) -> dict:
     results = {}
+    speedups = {}
     for name in names:
-        cps = measure_scenario(name, rounds=rounds)
-        results[name] = round(cps, 1)
-        print(f"{name:>18}: {cps:>8.0f} cycles/sec", file=sys.stderr)
+        per_backend = {}
+        for backend in backends:
+            key = scenario_key(name, backend)
+            cps = measure_scenario(name, rounds=rounds, backend=backend)
+            results[key] = round(cps, 1)
+            per_backend[backend] = cps
+            print(f"{key:>22}: {cps:>8.0f} cycles/sec", file=sys.stderr)
+        if "reference" in per_backend and "vector" in per_backend:
+            ratio = per_backend["vector"] / per_backend["reference"]
+            speedups[name] = round(ratio, 2)
+            print(f"{name + ' speedup':>22}: {ratio:>7.2f}x vector/reference",
+                  file=sys.stderr)
         if traced:
+            cps = per_backend["reference"]
             traced_cps = measure_scenario(name, rounds=rounds, traced=True)
             results[f"{name}+trace"] = round(traced_cps, 1)
-            print(f"{name + '+trace':>18}: {traced_cps:>8.0f} cycles/sec"
+            print(f"{name + '+trace':>22}: {traced_cps:>8.0f} cycles/sec"
                   f" ({traced_cps / cps:.2f}x of untraced)",
                   file=sys.stderr)
-    return {
-        "schema": 2,
+    report = {
+        "schema": 3,
         "git_sha": git_sha(),
         "machine": machine_info(),
         "warmup_cycles": WARMUP_CYCLES,
@@ -154,6 +178,9 @@ def build_report(names, rounds: int, traced: bool = False) -> dict:
         "calibration_ops_per_second": round(calibrate(), 1),
         "cycles_per_second": results,
     }
+    if speedups:
+        report["vector_speedup"] = speedups
+    return report
 
 
 def check_regression(report: dict, baseline_path: Path, tolerance: float) -> int:
@@ -182,20 +209,65 @@ def check_regression(report: dict, baseline_path: Path, tolerance: float) -> int
                   f"(calibration {cal:.0f} vs baseline {base_cal:.0f})",
                   file=sys.stderr)
     failures = []
+    missing = []
     for name, measured in report["cycles_per_second"].items():
         base = base_results.get(name)
         if not base:
+            # `+trace` variants are informational (the guard's subject is
+            # the *untraced* path), so their absence from an untraced
+            # baseline is expected, not a coverage gap.
+            if "+" not in name:
+                missing.append(name)
             continue
         ratio = measured / (base * scale)
         status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
-        print(f"{name:>18}: {measured:>8.0f} vs baseline {base:>8.0f} "
+        print(f"{name:>22}: {measured:>8.0f} vs baseline {base:>8.0f} "
               f"({ratio:.2f}x) {status}", file=sys.stderr)
         if ratio < 1.0 - tolerance:
             failures.append(name)
+    if missing:
+        # A scenario that was measured but has no baseline entry means
+        # the checked-in report predates it: the gate would silently
+        # stop covering new scenarios.  Fail with the fix spelled out.
+        print(
+            "scenarios missing from baseline "
+            f"{baseline_path}: {', '.join(missing)}\n"
+            "regenerate it with: PYTHONPATH=src python benchmarks/report.py "
+            "--backend both --rounds 5",
+            file=sys.stderr,
+        )
+        return 1
     if failures:
         print(f"regression beyond {tolerance:.0%}: {', '.join(failures)}",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def check_speedup_floor(report: dict, floor: float) -> int:
+    """Exit status: 0 if every measured vector speedup meets ``floor``.
+
+    The floor is the honest measured multiplier recorded in the
+    baseline (see ``vector_speedup`` in BENCH_engine.json), enforced by
+    the CI engine-benchmark matrix so the vector backend cannot quietly
+    decay back toward reference speed.
+    """
+    speedups = report.get("vector_speedup")
+    if not speedups:
+        print("--min-speedup needs both backends (use --backend both)",
+              file=sys.stderr)
+        return 1
+    failures = [
+        f"{name} {ratio:.2f}x" for name, ratio in speedups.items()
+        if ratio < floor
+    ]
+    if failures:
+        print(f"vector speedup below the {floor:.2f}x floor: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"vector speedup floor {floor:.2f}x met: "
+          + ", ".join(f"{n} {r:.2f}x" for n, r in speedups.items()),
+          file=sys.stderr)
     return 0
 
 
@@ -218,15 +290,36 @@ def main(argv=None) -> int:
                         help="also measure each scenario with a message-"
                              "level tracer attached (reported as "
                              "<name>+trace)")
+    parser.add_argument("--backend", choices=("reference", "vector", "both"),
+                        default="reference",
+                        help="engine backend(s) to measure; 'both' also "
+                             "records per-scenario vector speedups")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="with --backend both: exit 1 if any scenario's "
+                             "vector speedup falls below X")
     args = parser.parse_args(argv)
 
+    backends = (
+        ("reference", "vector") if args.backend == "both" else (args.backend,)
+    )
+    if args.traced and "reference" not in backends:
+        parser.error("--traced requires the reference backend")
+    if args.min_speedup is not None and args.backend != "both":
+        parser.error("--min-speedup requires --backend both")
+
     names = SMOKE_SCENARIOS if args.smoke else tuple(SCENARIOS)
-    report = build_report(names, rounds=args.rounds, traced=args.traced)
+    report = build_report(
+        names, rounds=args.rounds, traced=args.traced, backends=backends
+    )
     args.output.write_text(json.dumps(report, indent=2) + "\n", "utf-8")
     print(f"wrote {args.output}", file=sys.stderr)
+    status = 0
     if args.check is not None:
-        return check_regression(report, args.check, args.tolerance)
-    return 0
+        status = check_regression(report, args.check, args.tolerance)
+    if args.min_speedup is not None:
+        status = check_speedup_floor(report, args.min_speedup) or status
+    return status
 
 
 if __name__ == "__main__":

@@ -23,7 +23,7 @@ import sys
 from repro.config import ExecutionConfig, SimConfig
 from repro.faults import parse_fault
 from repro.sim.analysis import format_breakdown
-from repro.sim.engine import Engine
+from repro.sim.engine import build_engine
 from repro.sim.invariants import format_dump
 from repro.sim.parallel import DEFAULT_CACHE_DIR
 from repro.sim.sweep import run_sweep
@@ -31,6 +31,7 @@ from repro.util.errors import (
     InvariantViolation,
     LivenessError,
     SweepExecutionError,
+    UnsupportedFeatureError,
 )
 
 
@@ -43,6 +44,10 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--bristling", type=int, default=1)
     p.add_argument("--queue-mode", default="auto",
                    choices=["auto", "shared", "per-net", "per-type"])
+    p.add_argument("--backend", default="reference",
+                   choices=["reference", "vector"],
+                   help="engine implementation; both are bit-identical"
+                   " (vector is the fast struct-of-arrays backend)")
     p.add_argument("--queue-capacity", type=int, default=16)
     p.add_argument("--service-time", type=int, default=40)
     p.add_argument("--seed", type=int, default=1)
@@ -101,6 +106,7 @@ def _config(args, load: float) -> SimConfig:
         queue_mode=args.queue_mode,
         queue_capacity=args.queue_capacity,
         service_time=args.service_time,
+        backend=args.backend,
         seed=args.seed,
         shared_extras=args.shared_extras,
         recovery_policy=args.recovery_policy,
@@ -112,7 +118,7 @@ def _config(args, load: float) -> SimConfig:
 
 
 def cmd_run(args) -> int:
-    engine = Engine(_config(args, args.load))
+    engine = build_engine(_config(args, args.load))
     tracer = None
     if args.trace or args.json or args.timeseries:
         from repro.telemetry import Tracer
@@ -120,7 +126,15 @@ def cmd_run(args) -> int:
         tracer = Tracer(
             level=args.trace_level, sample_every=args.sample_every
         )
-        engine.attach_tracer(tracer)
+        try:
+            engine.attach_tracer(tracer)
+        except UnsupportedFeatureError:
+            # --json only *implies* a tracer (for recovery episodes);
+            # machine-readable results stay available on backends that
+            # refuse tracing.  Explicit trace requests still fail loudly.
+            if args.trace or args.timeseries:
+                raise
+            tracer = None
     try:
         window = engine.run_measured(args.warmup, args.measure)
     except (LivenessError, InvariantViolation) as exc:
@@ -128,7 +142,7 @@ def cmd_run(args) -> int:
         if exc.dump is not None:
             print(format_dump(exc.dump), file=sys.stderr)
         return 3
-    if tracer is not None:
+    if tracer is not None or args.json:
         _export_run_telemetry(args, engine, tracer, window)
     nodes = engine.topology.num_nodes
     print(f"topology            : {engine.topology}")
@@ -156,7 +170,7 @@ def _export_run_telemetry(args, engine, tracer, window) -> None:
         stitch_episodes,
     )
 
-    episodes = stitch_episodes(tracer)
+    episodes = stitch_episodes(tracer) if tracer is not None else []
     if args.trace:
         export_perfetto(tracer, args.trace)
         print(f"wrote {args.trace} ({tracer.events_recorded} events,"

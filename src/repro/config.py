@@ -17,6 +17,7 @@ from repro.util.errors import ConfigurationError
 
 _VALID_SCHEMES = ("SA", "DR", "PR", "NONE")
 _VALID_QUEUE_MODES = ("auto", "shared", "per-net", "per-type")
+_VALID_BACKENDS = ("reference", "vector")
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,10 @@ class SimConfig:
     max_outstanding: int = 16
 
     # --- run control ---
+    #: engine implementation: "reference" is the object-per-flit engine,
+    #: "vector" the struct-of-arrays backend (:mod:`repro.sim.vector`).
+    #: Both produce bit-identical results; see EXPERIMENTS.md.
+    backend: str = "reference"
     seed: int = 1
     #: optional CWG-based detection interval (0 = off; paper used 50).
     cwg_interval: int = 0
@@ -90,6 +95,10 @@ class SimConfig:
         if self.queue_mode not in _VALID_QUEUE_MODES:
             raise ConfigurationError(
                 f"queue_mode {self.queue_mode!r} not in {_VALID_QUEUE_MODES}"
+            )
+        if self.backend not in _VALID_BACKENDS:
+            raise ConfigurationError(
+                f"backend {self.backend!r} not in {_VALID_BACKENDS}"
             )
         if self.num_vcs < 1:
             raise ConfigurationError("num_vcs must be positive")

@@ -28,7 +28,8 @@ from repro.util.errors import SimulationError
 class MessageQueue:
     """A bounded FIFO of messages with held/reserved slot accounting."""
 
-    __slots__ = ("capacity", "entries", "held", "reserved", "version")
+    __slots__ = ("capacity", "entries", "held", "reserved", "version",
+                 "notify")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -39,6 +40,11 @@ class MessageQueue:
         self.reserved = 0
         #: Bumped on every push/pop; lets detectors observe progress.
         self.version = 0
+        #: Optional hook called after *any* change to entries/held/
+        #: reserved (not just version bumps).  The vector backend uses it
+        #: to keep its kernel-side slot mirror and its lazy detector bank
+        #: in sync; None (the default) costs one branch per mutation.
+        self.notify = None
 
     # -- capacity -------------------------------------------------------
     @property
@@ -65,9 +71,13 @@ class MessageQueue:
         if msg.has_reservation and self.reserved > 0:
             self.reserved -= 1
             self.held += 1
+            if self.notify is not None:
+                self.notify()
             return True
         if self.free_slots > 0:
             self.held += 1
+            if self.notify is not None:
+                self.notify()
             return True
         return False
 
@@ -78,6 +88,8 @@ class MessageQueue:
         self.held -= 1
         self.entries.append(msg)
         self.version += 1
+        if self.notify is not None:
+            self.notify()
 
     # -- reply reservations (MSHR preallocation) -------------------------
     def try_reserve_reply(self, extra: int = 0) -> bool:
@@ -90,6 +102,8 @@ class MessageQueue:
         """
         if self.free_slots + extra > 0:
             self.reserved += 1
+            if self.notify is not None:
+                self.notify()
             return True
         return False
 
@@ -97,6 +111,8 @@ class MessageQueue:
         if self.reserved <= 0:  # pragma: no cover - guarded
             raise SimulationError("releasing a reservation that was never made")
         self.reserved -= 1
+        if self.notify is not None:
+            self.notify()
 
     # -- plain queue ops --------------------------------------------------
     def push(self, msg: Message) -> None:
@@ -105,6 +121,8 @@ class MessageQueue:
             raise SimulationError("push into a full queue")
         self.entries.append(msg)
         self.version += 1
+        if self.notify is not None:
+            self.notify()
 
     def push_held(self, msg: Message) -> None:
         """Convert a previously held output slot into a queued message."""
@@ -113,6 +131,8 @@ class MessageQueue:
         self.held -= 1
         self.entries.append(msg)
         self.version += 1
+        if self.notify is not None:
+            self.notify()
 
     def hold_slot(self) -> bool:
         """Claim a slot for a message that will be produced shortly.
@@ -123,6 +143,8 @@ class MessageQueue:
         """
         if self.free_slots > 0:
             self.held += 1
+            if self.notify is not None:
+                self.notify()
             return True
         return False
 
@@ -130,13 +152,18 @@ class MessageQueue:
         if self.held <= 0:  # pragma: no cover - guarded
             raise SimulationError("releasing a held slot that was never held")
         self.held -= 1
+        if self.notify is not None:
+            self.notify()
 
     def peek(self) -> Message | None:
         return self.entries[0] if self.entries else None
 
     def pop(self) -> Message:
         self.version += 1
-        return self.entries.popleft()
+        msg = self.entries.popleft()
+        if self.notify is not None:
+            self.notify()
+        return msg
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -63,8 +63,10 @@ class Fabric:
         #: the arbitration loop.
         self.link_senders: list[list] = [[] for _ in topology.links]
         self._link_rr: list[int] = [0] * len(topology.links)
-        #: links with at least one sender (kept as a set for sparse scans)
-        self._busy_links: set[int] = set()
+        #: links with at least one sender, in first-busy order (an
+        #: insertion-ordered dict so link arbitration order is exactly
+        #: reproducible, notably by the vector backend's kernel)
+        self._busy_links: dict[int, None] = {}
 
         #: frontier senders awaiting route/VC allocation or a queue slot
         self.pending: list = []
@@ -184,7 +186,7 @@ class Fabric:
         candidates = self.routing.candidates
         reserve_hooks = self._reserve_hooks
         link_senders = self.link_senders
-        busy_add = self._busy_links.add
+        busy_add = self._busy_links.setdefault
         frozen = self.stalled_routers
         tracer = self.tracer
         for sender in pending:
@@ -263,8 +265,8 @@ class Fabric:
         done_links: list[int] = []
         busy = self._busy_links
         if self.stalled_links:
-            busy = busy - self.stalled_links
-        for lid in busy:
+            busy = {k: None for k in busy if k not in self.stalled_links}
+        for lid in list(busy):
             senders = link_senders[lid]
             n = len(senders)
             if n == 0:
@@ -334,7 +336,7 @@ class Fabric:
         self.flits_forwarded += forwarded
         self.flits_injected += injected
         for lid in done_links:
-            self._busy_links.discard(lid)
+            self._busy_links.pop(lid, None)
 
     # Hook the endpoint layer overrides to reload injection channels.
     def on_injection_complete(self, chan: InjectionChannel, msg, now: int) -> None:

@@ -1,0 +1,155 @@
+"""Struct-of-arrays export of topology and channel structure.
+
+The vector backend (:mod:`repro.sim.vector`) keeps all fabric state in
+flat numpy arrays and advances it with a compiled kernel; this module is
+the bridge from the object world.  :class:`TopologySoA` flattens the
+torus — link endpoints, dimensions, dateline flags, node-to-router map —
+and :func:`static_route_row` reproduces
+:meth:`repro.network.routing.RoutingFunction._static_candidates` in
+terms of *virtual-channel ids* (``lid * num_vcs + index``) instead of
+``VirtualChannel`` objects, so the kernel's allocation scan can consult
+a precomputed candidate table and still make exactly the choices the
+reference engine makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.routing import VcMap
+from repro.network.topology import Torus
+
+
+class TopologySoA:
+    """Flat array view of a :class:`~repro.network.topology.Torus`."""
+
+    def __init__(self, topology: Torus, num_vcs: int) -> None:
+        self.topology = topology
+        self.num_vcs = num_vcs
+        links = topology.links
+        self.num_links = len(links)
+        #: total virtual channels; vc id = lid * num_vcs + index.
+        self.num_vcs_total = self.num_links * num_vcs
+        self.link_src = np.array([ln.src for ln in links], dtype=np.int32)
+        self.link_dst = np.array([ln.dst for ln in links], dtype=np.int32)
+        self.link_dim = np.array([ln.dim for ln in links], dtype=np.int32)
+        self.link_dateline = np.array(
+            [1 if ln.crosses_dateline else 0 for ln in links], dtype=np.int32
+        )
+        self.router_of_node = np.array(
+            [topology.router_of_node(n) for n in range(topology.num_nodes)],
+            dtype=np.int32,
+        )
+        # Per-VC static facts, indexed by vc id.
+        self.vc_link = np.repeat(
+            np.arange(self.num_links, dtype=np.int32), num_vcs
+        )
+        self.vc_router = self.link_dst[self.vc_link]
+        self.vc_dim = self.link_dim[self.vc_link]
+        self.vc_dateline = self.link_dateline[self.vc_link]
+
+    def vc_id(self, lid: int, index: int) -> int:
+        return lid * self.num_vcs + index
+
+
+def build_route_table(
+    topology: Torus,
+    vc_map: VcMap,
+    adaptive: bool,
+    num_vcs: int,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every routing-memo row, precomputed (``(rk_idx, rows)``).
+
+    Equivalent to calling :func:`static_route_row` for every reachable
+    ``(router, dst_router, vc_class, crossed_mask)`` key, but the
+    per-(router, destination) work — productive directions, output
+    links — is done once and shared across the class and mask axes
+    (only the escape choice depends on them).  Filling the table at
+    fabric construction removes the route-miss suspensions from the
+    kernel's allocation phase, which otherwise dominate the first tens
+    of thousands of cycles (new keys keep appearing as packets reach
+    fresh (position, destination, dateline) combinations).
+    """
+    R = topology.num_routers
+    ndim = topology.ndim
+    vcls = vc_map.num_classes
+    nmask = 1 << ndim
+    n_rows = R * (R - 1) * vcls * nmask
+    rk_idx = np.full((R * R * vcls) << ndim, -1, dtype=np.int32)
+    rows = np.zeros((max(n_rows, 1), stride), dtype=np.int32)
+    mask_arr = np.arange(nmask, dtype=np.int32)
+    indices = [vc_map.adaptive[c] if adaptive else () for c in range(vcls)]
+    escape = [vc_map.escape[c] for c in range(vcls)]
+    row0 = 0
+    for r in range(R):
+        for dstr in range(R):
+            if dstr == r:
+                continue
+            dirs = topology.productive_directions(r, dstr)
+            links = [topology.out_link(r, d, s) for d, s, _ in dirs]
+            edim, edir, _ = min(dirs, key=lambda t: (t[0], -t[1]))
+            elink = topology.out_link(r, edim, edir)
+            # cls1 when the escape hop crosses the dateline or the
+            # packet already did in that dimension (the mask bit).
+            cls1 = elink.crosses_dateline | ((mask_arr >> edim) & 1)
+            for cls in range(vcls):
+                cands = [
+                    ln.lid * num_vcs + idx
+                    for ln in links
+                    for idx in indices[cls]
+                ]
+                block = rows[row0 : row0 + nmask]
+                block[:, 0] = len(cands)
+                if cands:
+                    block[:, 2 : 2 + len(cands)] = cands
+                pair = escape[cls]
+                if pair is None:
+                    block[:, 1] = -1
+                else:
+                    block[:, 1] = elink.lid * num_vcs + np.where(
+                        cls1, pair[1], pair[0]
+                    )
+                key0 = (((r * R + dstr) * vcls + cls)) << ndim
+                rk_idx[key0 : key0 + nmask] = np.arange(
+                    row0, row0 + nmask, dtype=np.int32
+                )
+                row0 += nmask
+    return rk_idx, rows.reshape(-1)
+
+
+def static_route_row(
+    topology: Torus,
+    vc_map: VcMap,
+    adaptive: bool,
+    num_vcs: int,
+    router: int,
+    dst_router: int,
+    vc_class: int,
+    crossed_mask: int,
+) -> tuple[tuple[int, ...], int]:
+    """The static candidate VCs of one routing-memo key, as vc ids.
+
+    Returns ``(adaptive_vc_ids, escape_vc_id_or_-1)`` in exactly the
+    order ``RoutingFunction._static_candidates`` produces them
+    (direction-major, then adaptive index).
+    """
+    out: list[int] = []
+    indices = vc_map.adaptive[vc_class]
+    if indices and adaptive:
+        for dim, direction, _ in topology.productive_directions(
+            router, dst_router
+        ):
+            lid = topology.out_link(router, dim, direction).lid
+            for idx in indices:
+                out.append(lid * num_vcs + idx)
+    esc = -1
+    pair = vc_map.escape[vc_class]
+    if pair is not None:
+        dirs = topology.productive_directions(router, dst_router)
+        if dirs:
+            dim, direction, _ = min(dirs, key=lambda t: (t[0], -t[1]))
+            link = topology.out_link(router, dim, direction)
+            cls1 = link.crosses_dateline or (crossed_mask >> dim) & 1
+            esc = link.lid * num_vcs + (pair[1] if cls1 else pair[0])
+    return tuple(out), esc

@@ -26,6 +26,10 @@ from repro.util.errors import ConfigurationError
 class Engine:
     """One simulated network plus endpoints under one scheme."""
 
+    #: NI implementation; the vector backend substitutes a subclass that
+    #: reports endpoint activity to its event scheduler.
+    interface_class = NetworkInterface
+
     def __init__(
         self,
         config: SimConfig,
@@ -62,15 +66,10 @@ class Engine:
         self.scheme: Scheme = build_scheme(
             config, self.topology, protocol, types_used, couplings
         )
-        self.fabric = Fabric(
-            self.topology,
-            config.num_vcs,
-            config.flit_buffer_depth,
-            self.scheme.routing,
-        )
+        self.fabric = self._build_fabric(config)
         self.stats = SimStats(self)
         self.interfaces = [
-            NetworkInterface(
+            type(self).interface_class(
                 node,
                 self.fabric,
                 self.scheme,
@@ -183,6 +182,15 @@ class Engine:
             if saved_load is not None:
                 self.traffic.load = saved_load
 
+    def _build_fabric(self, config: SimConfig) -> Fabric:
+        """Fabric factory; the vector backend overrides this."""
+        return Fabric(
+            self.topology,
+            config.num_vcs,
+            config.flit_buffer_depth,
+            self.scheme.routing,
+        )
+
     def _empty(self) -> bool:
         if self.fabric.occupancy() > 0 or self.fabric.pending:
             return False
@@ -206,3 +214,17 @@ class Engine:
         ):
             return False
         return True
+
+
+def build_engine(config: SimConfig, **kwargs) -> Engine:
+    """Instantiate the engine implementation ``config.backend`` selects.
+
+    ``"reference"`` is the object-per-flit :class:`Engine`; ``"vector"``
+    the struct-of-arrays backend (:class:`repro.sim.vector.VectorEngine`),
+    which produces bit-identical results (see tests/test_backend_equivalence).
+    """
+    if config.backend == "vector":
+        from repro.sim.vector import VectorEngine
+
+        return VectorEngine(config, **kwargs)
+    return Engine(config, **kwargs)

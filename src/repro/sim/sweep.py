@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.config import ExecutionConfig, SimConfig
-from repro.sim.engine import Engine
+from repro.sim.engine import build_engine
 from repro.sim.parallel import ResultCache, get_default_execution, run_points
 from repro.sim.results import RunResult, SweepResult
 from repro.util.progress import ProgressReporter
@@ -26,7 +26,7 @@ from repro.util.progress import ProgressReporter
 
 def run_point(config: SimConfig, warmup: int, measure: int) -> RunResult:
     """Run one (config, load) point and summarize the window."""
-    engine = Engine(config)
+    engine = build_engine(config)
     window = engine.run_measured(warmup, measure)
     nodes = engine.topology.num_nodes
     return RunResult(

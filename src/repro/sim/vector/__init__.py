@@ -1,0 +1,13 @@
+"""Vectorized struct-of-arrays engine backend.
+
+Selected via ``SimConfig(backend="vector")`` (CLI: ``--backend vector``).
+Produces bit-identical :class:`~repro.sim.stats.SimStats` to the
+reference engine — enforced per sweep point by
+``tests/test_backend_equivalence.py`` and the ``backend-equivalence``
+CI job — while running the flit-movement hot path in a compiled kernel.
+"""
+
+from repro.sim.vector.engine import VectorEngine
+from repro.sim.vector.fabric import VectorFabric
+
+__all__ = ["VectorEngine", "VectorFabric"]

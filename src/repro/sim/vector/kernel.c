@@ -1,0 +1,497 @@
+/* Flit-movement kernel of the vector backend.
+ *
+ * A line-for-line transliteration of repro/network/fabric.py's three
+ * cycle phases (ejection, allocation, link traversal) over the
+ * struct-of-arrays state laid out by repro/sim/vector/fabric.py.  Every
+ * loop preserves the reference engine's iteration order, round-robin
+ * bookkeeping and tie-breaking exactly, so a vector run is bit-identical
+ * to a reference run.
+ *
+ * Id spaces (see fabric.py):
+ *   virtual channel / sender id:  c in [0, NVC)       NVC = L * V
+ *   injection sender id:          NVC + node * C + cls
+ *   sink encoding in s_sink:      -1 unrouted, < NVC a VC id,
+ *                                 >= NVC ejection port of node (id-NVC)
+ *
+ * Endpoint interactions are event-based: slot claims at the delivery
+ * port are decided against the (free, reserved) queue mirror and
+ * reported as EV_CLAIM events; tail-flit deliveries as EV_DELIVER;
+ * injection-channel releases as EV_INJDONE.  Python drains the event
+ * buffer after the phases run, applying the same mutations the
+ * reference fabric performs inline (deliveries precede claims precede
+ * link events in the buffer, matching the reference phase order).
+ *
+ * Route rows are filled lazily: a missing (router, dst_router, class,
+ * dateline-mask) key suspends k_alloc (return 2) with the miss details
+ * in the header; Python computes the row (network/soa.py), stores it,
+ * and resumes.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* hdr cells */
+#define H_PN 0        /* pending count */
+#define H_EVN 1       /* event count */
+#define H_OCC 2       /* VC flit occupancy */
+#define H_BUSYN 3     /* busy link count */
+#define H_MISS_IDX 4  /* resumable alloc: pending index of the miss */
+#define H_MISS_SID 5
+#define H_MISS_R 6
+#define H_MISS_DSTR 7
+#define H_MISS_CLS 8
+#define H_MISS_MASK 9
+#define H_SN 10       /* still count carried across an alloc resume */
+#define H_EV_OVF 11   /* event buffer overflowed (fatal; Python raises) */
+
+/* int64 counters */
+#define C_FORWARDED 0
+#define C_INJECTED 1
+#define C_EJECTED 2
+#define C_ALLOCFAIL 3
+
+/* events */
+#define EV_CLAIM 1
+#define EV_DELIVER 2
+#define EV_INJDONE 3
+
+typedef struct {
+    /* dims */
+    int32_t L, V, D, N, C, R, ndim, EPCAP, MAXCAND, EVCAP, SCAP, VCLS;
+    int32_t NVC;      /* L * V */
+    int32_t STRIDE;   /* route row stride = 2 + MAXCAND */
+    /* state arrays (owned by Python/numpy) */
+    int32_t *s_owner, *s_sink, *s_router;
+    int32_t *v_count, *v_hp, *v_flit, *v_arr;
+    int32_t *vc_dim, *vc_dateline;
+    int32_t *m_size, *m_dst, *m_dstr, *m_vcls, *m_qcls, *m_hasres;
+    int32_t *m_sent, *m_crossed, *m_hops, *m_blocked, *m_ejected;
+    int32_t *ls_s, *ls_sink, *ls_inj, *ls_n, *l_rr;
+    int32_t *busy_order, *busy_in;
+    int32_t *ep_s, *ep_n, *ep_rr;
+    int32_t *pending, *still;
+    int32_t *qm_free, *qm_res;
+    int32_t *rk_idx, *rows;
+    int32_t *ev;
+    int32_t *inj_used;
+    int32_t *hdr;
+    int64_t *cnt;
+} KState;
+
+static void emit(KState *k, int32_t type, int32_t vid, int32_t sid)
+{
+    int32_t n = k->hdr[H_EVN];
+    if (n >= k->EVCAP) {
+        k->hdr[H_EV_OVF] = 1;
+        return;
+    }
+    int32_t *e = k->ev + 3 * n;
+    e[0] = type;
+    e[1] = vid;
+    e[2] = sid;
+    k->hdr[H_EVN] = n + 1;
+}
+
+void *k_new(const int64_t *ptrs, const int32_t *dims)
+{
+    KState *k = (KState *)calloc(1, sizeof(KState));
+    if (!k)
+        return NULL;
+    k->L = dims[0];
+    k->V = dims[1];
+    k->D = dims[2];
+    k->N = dims[3];
+    k->C = dims[4];
+    k->R = dims[5];
+    k->ndim = dims[6];
+    k->EPCAP = dims[7];
+    k->MAXCAND = dims[8];
+    k->EVCAP = dims[9];
+    k->SCAP = dims[10];
+    k->VCLS = dims[11];
+    k->NVC = k->L * k->V;
+    k->STRIDE = 2 + k->MAXCAND;
+    int i = 0;
+    k->s_owner = (int32_t *)(intptr_t)ptrs[i++];
+    k->s_sink = (int32_t *)(intptr_t)ptrs[i++];
+    k->s_router = (int32_t *)(intptr_t)ptrs[i++];
+    k->v_count = (int32_t *)(intptr_t)ptrs[i++];
+    k->v_hp = (int32_t *)(intptr_t)ptrs[i++];
+    k->v_flit = (int32_t *)(intptr_t)ptrs[i++];
+    k->v_arr = (int32_t *)(intptr_t)ptrs[i++];
+    k->vc_dim = (int32_t *)(intptr_t)ptrs[i++];
+    k->vc_dateline = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_size = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_dst = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_dstr = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_vcls = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_qcls = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_hasres = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_sent = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_crossed = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_hops = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_blocked = (int32_t *)(intptr_t)ptrs[i++];
+    k->m_ejected = (int32_t *)(intptr_t)ptrs[i++];
+    k->ls_s = (int32_t *)(intptr_t)ptrs[i++];
+    k->ls_sink = (int32_t *)(intptr_t)ptrs[i++];
+    k->ls_inj = (int32_t *)(intptr_t)ptrs[i++];
+    k->ls_n = (int32_t *)(intptr_t)ptrs[i++];
+    k->l_rr = (int32_t *)(intptr_t)ptrs[i++];
+    k->busy_order = (int32_t *)(intptr_t)ptrs[i++];
+    k->busy_in = (int32_t *)(intptr_t)ptrs[i++];
+    k->ep_s = (int32_t *)(intptr_t)ptrs[i++];
+    k->ep_n = (int32_t *)(intptr_t)ptrs[i++];
+    k->ep_rr = (int32_t *)(intptr_t)ptrs[i++];
+    k->pending = (int32_t *)(intptr_t)ptrs[i++];
+    k->still = (int32_t *)(intptr_t)ptrs[i++];
+    k->qm_free = (int32_t *)(intptr_t)ptrs[i++];
+    k->qm_res = (int32_t *)(intptr_t)ptrs[i++];
+    k->rk_idx = (int32_t *)(intptr_t)ptrs[i++];
+    k->rows = (int32_t *)(intptr_t)ptrs[i++];
+    k->ev = (int32_t *)(intptr_t)ptrs[i++];
+    k->inj_used = (int32_t *)(intptr_t)ptrs[i++];
+    k->hdr = (int32_t *)(intptr_t)ptrs[i++];
+    k->cnt = (int64_t *)(intptr_t)ptrs[i++];
+    return k;
+}
+
+void k_free(void *h)
+{
+    free(h);
+}
+
+void k_set_rows_ptr(void *h, int64_t ptr)
+{
+    ((KState *)h)->rows = (int32_t *)(intptr_t)ptr;
+}
+
+/* --------------------------------------------------------------------
+ * Phase 1: ejection — one flit per active port, node-ascending.
+ * Mirrors Fabric._phase_eject + EjectionPort.step.
+ * ------------------------------------------------------------------ */
+void k_eject(void *h, int32_t now)
+{
+    KState *k = (KState *)h;
+    const int32_t NVC = k->NVC, D = k->D, EPCAP = k->EPCAP;
+    for (int32_t node = 0; node < k->N; node++) {
+        int32_t n = k->ep_n[node];
+        if (n == 0)
+            continue;
+        int32_t *eps = k->ep_s + (int64_t)node * EPCAP;
+        int32_t start = k->ep_rr[node] % n;
+        for (int32_t i = 0; i < n; i++) {
+            int32_t idx = start + i;
+            if (idx >= n)
+                idx -= n;
+            int32_t sid = eps[idx];
+            int32_t vid = k->s_owner[sid];
+            int32_t flit;
+            if (sid >= NVC) { /* injection channel delivering locally */
+                flit = k->m_sent[vid];
+                if (flit >= k->m_size[vid])
+                    continue;
+                k->m_sent[vid] = flit + 1;
+            } else {
+                if (k->v_count[sid] == 0)
+                    continue;
+                int32_t p = k->v_hp[sid];
+                if (k->v_arr[(int64_t)sid * D + p] >= now)
+                    continue;
+                flit = k->v_flit[(int64_t)sid * D + p];
+                k->v_hp[sid] = (p + 1 == D) ? 0 : p + 1;
+                k->v_count[sid]--;
+                k->hdr[H_OCC]--;
+            }
+            k->cnt[C_EJECTED]++;
+            k->m_ejected[vid]++;
+            if (flit == k->m_size[vid] - 1) { /* tail: delivered */
+                k->s_owner[sid] = -1;
+                k->s_sink[sid] = -1;
+                n--;
+                for (int32_t j = idx; j < n; j++)
+                    eps[j] = eps[j + 1];
+                k->ep_n[node] = n;
+                emit(k, EV_DELIVER, vid, sid);
+            }
+            /* post-removal length, exactly as EjectionPort.step */
+            {
+                int32_t m = k->ep_n[node];
+                k->ep_rr[node] = (start + i + 1) % (m > 0 ? m : 1);
+            }
+            break; /* one flit per port per cycle */
+        }
+    }
+}
+
+/* --------------------------------------------------------------------
+ * Phase 2: allocation — route/VC allocation or delivery-slot claim for
+ * every frontier.  Mirrors Fabric._phase_allocate; resumable on route
+ * misses (return 2; Python fills the row and calls again with the same
+ * `resume`).
+ * ------------------------------------------------------------------ */
+int32_t k_alloc(void *h, int32_t now, int32_t resume)
+{
+    KState *k = (KState *)h;
+    const int32_t NVC = k->NVC, V = k->V, C = k->C, EPCAP = k->EPCAP;
+    const int32_t R = k->R, VCLS = k->VCLS, ndim = k->ndim;
+    const int32_t STRIDE = k->STRIDE;
+    int32_t pn = k->hdr[H_PN];
+    int32_t sn = (resume == 0) ? 0 : k->hdr[H_SN];
+    for (int32_t i = resume; i < pn; i++) {
+        int32_t sid = k->pending[i];
+        int32_t vid = k->s_owner[sid];
+        if (vid < 0)
+            continue; /* rescued or otherwise detached meanwhile */
+        if (k->s_sink[sid] >= 0)
+            continue; /* already routed */
+        int32_t dstr = k->m_dstr[vid];
+        int32_t r = k->s_router[sid];
+        if (r == dstr) {
+            int32_t node = k->m_dst[vid];
+            int32_t qi = node * C + k->m_qcls[vid];
+            int32_t ok;
+            if (k->m_hasres[vid] && k->qm_res[qi] > 0) {
+                k->qm_res[qi]--; /* held++ / reserved--: free unchanged */
+                ok = 1;
+            } else if (k->qm_free[qi] > 0) {
+                k->qm_free[qi]--; /* held++ */
+                ok = 1;
+            } else {
+                ok = 0;
+            }
+            if (ok) {
+                k->ep_s[(int64_t)node * EPCAP + k->ep_n[node]] = sid;
+                k->ep_n[node]++;
+                k->s_sink[sid] = NVC + node;
+                k->m_blocked[vid] = -1;
+                emit(k, EV_CLAIM, vid, sid);
+                continue;
+            }
+        } else {
+            int32_t key = (((r * R + dstr) * VCLS + k->m_vcls[vid]) << ndim)
+                          | k->m_crossed[vid];
+            int32_t row = k->rk_idx[key];
+            if (row < 0) { /* suspend: Python computes the row */
+                k->hdr[H_MISS_IDX] = i;
+                k->hdr[H_MISS_SID] = sid;
+                k->hdr[H_MISS_R] = r;
+                k->hdr[H_MISS_DSTR] = dstr;
+                k->hdr[H_MISS_CLS] = k->m_vcls[vid];
+                k->hdr[H_MISS_MASK] = k->m_crossed[vid];
+                k->hdr[H_SN] = sn;
+                return 2;
+            }
+            const int32_t *rp = k->rows + (int64_t)row * STRIDE;
+            int32_t na = rp[0], esc = rp[1];
+            /* first free adaptive candidate with minimal buffered flits
+             * (== the reference's stable sort by fifo length) */
+            int32_t best = -1, bc = 0x7fffffff;
+            for (int32_t j = 0; j < na; j++) {
+                int32_t c = rp[2 + j];
+                if (k->s_owner[c] < 0) {
+                    int32_t cc = k->v_count[c];
+                    if (cc < bc) {
+                        bc = cc;
+                        best = c;
+                    }
+                }
+            }
+            if (best < 0 && esc >= 0 && k->s_owner[esc] < 0)
+                best = esc;
+            if (best >= 0) {
+                k->s_owner[best] = vid;
+                k->s_sink[sid] = best;
+                int32_t lid = best / V;
+                int32_t pos = lid * V + k->ls_n[lid];
+                k->ls_s[pos] = sid;
+                k->ls_sink[pos] = best;
+                k->ls_inj[pos] = (sid >= NVC);
+                k->ls_n[lid]++;
+                if (!k->busy_in[lid]) {
+                    k->busy_in[lid] = 1;
+                    k->busy_order[k->hdr[H_BUSYN]++] = lid;
+                }
+                k->m_blocked[vid] = -1;
+                continue;
+            }
+        }
+        /* blocked: stamp the start of the blocked episode */
+        if (k->m_blocked[vid] < 0)
+            k->m_blocked[vid] = now;
+        k->cnt[C_ALLOCFAIL]++;
+        k->still[sn++] = sid;
+    }
+    /* rotate for fairness, exactly as the reference */
+    if (sn > 1) {
+        int32_t tmp = k->still[0];
+        memmove(k->still, k->still + 1, (size_t)(sn - 1) * sizeof(int32_t));
+        k->still[sn - 1] = tmp;
+    }
+    memcpy(k->pending, k->still, (size_t)sn * sizeof(int32_t));
+    k->hdr[H_PN] = sn;
+    return 0;
+}
+
+/* --------------------------------------------------------------------
+ * Phase 3: link traversal — one flit per busy link, round-robin.
+ * Mirrors Fabric._phase_links.
+ * ------------------------------------------------------------------ */
+void k_links(void *h, int32_t now)
+{
+    KState *k = (KState *)h;
+    const int32_t NVC = k->NVC, V = k->V, D = k->D, C = k->C;
+    memset(k->inj_used, 0, (size_t)k->N * sizeof(int32_t));
+    int32_t busyn = k->hdr[H_BUSYN];
+    int64_t forwarded = 0, injected = 0;
+    for (int32_t b = 0; b < busyn; b++) {
+        int32_t lid = k->busy_order[b];
+        int32_t n = k->ls_n[lid];
+        if (n == 0) {
+            k->busy_in[lid] = 0;
+            continue;
+        }
+        int32_t *lss = k->ls_s + lid * V;
+        int32_t *lssink = k->ls_sink + lid * V;
+        int32_t *lsinj = k->ls_inj + lid * V;
+        int32_t start = k->l_rr[lid] % n;
+        for (int32_t i = 0; i < n; i++) {
+            int32_t idx = start + i;
+            if (idx >= n)
+                idx -= n;
+            int32_t sink = lssink[idx];
+            if (k->v_count[sink] >= D)
+                continue; /* sink full */
+            int32_t sid = lss[idx];
+            int32_t vid = k->s_owner[sid];
+            int32_t flit;
+            if (lsinj[idx]) {
+                flit = k->m_sent[vid];
+                if (flit >= k->m_size[vid])
+                    continue;
+                int32_t node = (sid - NVC) / C;
+                if (k->inj_used[node])
+                    continue;
+                k->inj_used[node] = 1;
+                k->m_sent[vid] = flit + 1;
+                injected++;
+            } else {
+                if (k->v_count[sid] == 0)
+                    continue;
+                int32_t p = k->v_hp[sid];
+                if (k->v_arr[(int64_t)sid * D + p] >= now)
+                    continue; /* one-cycle minimum per hop */
+                flit = k->v_flit[(int64_t)sid * D + p];
+                k->v_hp[sid] = (p + 1 == D) ? 0 : p + 1;
+                k->v_count[sid]--;
+                k->hdr[H_OCC]--;
+            }
+            /* accept into the sink ring */
+            {
+                int32_t c = k->v_count[sink];
+                int32_t q = k->v_hp[sink] + c;
+                if (q >= D)
+                    q -= D;
+                k->v_flit[(int64_t)sink * D + q] = flit;
+                k->v_arr[(int64_t)sink * D + q] = now;
+                k->v_count[sink] = c + 1;
+                k->hdr[H_OCC]++;
+            }
+            forwarded++;
+            if (flit == 0) {
+                /* header advanced one hop: dateline state + new frontier */
+                k->m_hops[vid]++;
+                if (k->vc_dateline[sink])
+                    k->m_crossed[vid] |= 1 << k->vc_dim[sink];
+                k->pending[k->hdr[H_PN]++] = sink;
+                k->m_blocked[vid] = now;
+            }
+            if (flit == k->m_size[vid] - 1) {
+                /* tail departed: free the sender behind the packet */
+                n--;
+                for (int32_t j = idx; j < n; j++) {
+                    lss[j] = lss[j + 1];
+                    lssink[j] = lssink[j + 1];
+                    lsinj[j] = lsinj[j + 1];
+                }
+                k->ls_n[lid] = n;
+                k->s_owner[sid] = -1;
+                k->s_sink[sid] = -1;
+                if (sid >= NVC)
+                    emit(k, EV_INJDONE, vid, sid);
+                if (n > 0) {
+                    k->l_rr[lid] = (idx < n) ? idx : 0;
+                } else {
+                    k->l_rr[lid] = 0;
+                    k->busy_in[lid] = 0;
+                }
+            } else {
+                k->l_rr[lid] = (idx + 1 < n) ? idx + 1 : 0;
+            }
+            break; /* one flit per link per cycle */
+        }
+    }
+    k->cnt[C_FORWARDED] += forwarded;
+    k->cnt[C_INJECTED] += injected;
+    /* compact busy_order, preserving first-busy order */
+    {
+        int32_t w = 0;
+        for (int32_t b = 0; b < busyn; b++) {
+            int32_t lid = k->busy_order[b];
+            if (k->busy_in[lid])
+                k->busy_order[w++] = lid;
+        }
+        /* links that became busy during this phase's header advances
+         * cannot exist (allocation is the only producer), but keep any
+         * trailing entries appended after the snapshot anyway */
+        int32_t total = k->hdr[H_BUSYN];
+        for (int32_t b = busyn; b < total; b++)
+            k->busy_order[w++] = k->busy_order[b];
+        k->hdr[H_BUSYN] = w;
+    }
+}
+
+/* --------------------------------------------------------------------
+ * Introspection for progressive recovery.
+ * ------------------------------------------------------------------ */
+
+/* First-minimal blocked_since frontier at `router` over `threshold`,
+ * mirroring ProgressiveController._blocked_at_router. */
+int32_t k_longest_blocked(void *h, int32_t router, int32_t now,
+                          int32_t threshold)
+{
+    KState *k = (KState *)h;
+    int32_t pn = k->hdr[H_PN];
+    int32_t best = -1, best_since = 0;
+    for (int32_t i = 0; i < pn; i++) {
+        int32_t sid = k->pending[i];
+        int32_t vid = k->s_owner[sid];
+        if (vid < 0 || k->s_sink[sid] >= 0)
+            continue;
+        int32_t since = k->m_blocked[vid];
+        if (since < 0)
+            continue;
+        if (k->s_router[sid] != router)
+            continue;
+        if (now - since > threshold && (best < 0 || since < best_since)) {
+            best = sid;
+            best_since = since;
+        }
+    }
+    return best;
+}
+
+/* Remove the first occurrence of `sid` from pending (rescue detach). */
+void k_detach(void *h, int32_t sid)
+{
+    KState *k = (KState *)h;
+    int32_t pn = k->hdr[H_PN];
+    for (int32_t i = 0; i < pn; i++) {
+        if (k->pending[i] == sid) {
+            memmove(k->pending + i, k->pending + i + 1,
+                    (size_t)(pn - 1 - i) * sizeof(int32_t));
+            k->hdr[H_PN] = pn - 1;
+            return;
+        }
+    }
+}

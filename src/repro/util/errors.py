@@ -21,6 +21,18 @@ class SimulationError(RuntimeError):
     """
 
 
+class UnsupportedFeatureError(ConfigurationError):
+    """A requested feature is not supported by the selected backend.
+
+    The vector backend (``SimConfig(backend="vector")``) covers the
+    measurement paths (sweeps, benchmarks, equivalence campaigns) but
+    not the introspection layers: telemetry tracing, fault injection,
+    runtime invariants/watchdog and CWG detection all require the
+    reference engine.  Requesting one of them under the vector backend
+    raises this error eagerly instead of silently dropping events.
+    """
+
+
 class DiagnosedError(SimulationError):
     """A runtime failure carrying a structured deadlock dump.
 

@@ -6,12 +6,18 @@ import pytest
 
 yaml = pytest.importorskip("yaml")
 
-WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+REPO = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+REQUIREMENTS = REPO / "requirements-ci.txt"
 
 
 @pytest.fixture(scope="module")
 def workflow():
     return yaml.safe_load(WORKFLOW.read_text("utf-8"))
+
+
+def setup_python_steps(job):
+    return [s for s in job["steps"] if "setup-python" in (s.get("uses") or "")]
 
 
 class TestWorkflow:
@@ -22,8 +28,36 @@ class TestWorkflow:
         assert "pull_request" in triggers and "push" in triggers
         assert set(workflow["jobs"]) == {
             "lint", "typecheck", "test", "smoke-benchmark",
-            "engine-benchmark", "fault-smoke",
+            "engine-benchmark", "engine-speedup", "fault-smoke",
+            "backend-equivalence",
         }
+
+    def test_concurrency_cancels_superseded_runs(self, workflow):
+        conc = workflow["concurrency"]
+        assert conc["cancel-in-progress"] is True
+        # Group must be per-ref so unrelated branches don't cancel each
+        # other, only newer pushes to the same ref.
+        assert "github.ref" in conc["group"]
+
+    def test_every_job_caches_pip_on_the_pinned_requirements(self, workflow):
+        for name, job in workflow["jobs"].items():
+            steps = setup_python_steps(job)
+            assert steps, f"{name}: no setup-python step"
+            for step in steps:
+                with_ = step["with"]
+                assert with_.get("cache") == "pip", f"{name}: pip cache off"
+                assert with_.get("cache-dependency-path") == "requirements-ci.txt", name
+            runs = " ".join(s.get("run") or "" for s in job["steps"])
+            assert "pip install -r requirements-ci.txt" in runs, name
+
+    def test_requirements_file_is_fully_pinned(self):
+        lines = [
+            line.strip() for line in REQUIREMENTS.read_text("utf-8").splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+        assert lines, "requirements-ci.txt is empty"
+        for line in lines:
+            assert "==" in line, f"unpinned CI dependency: {line}"
 
     def test_python_matrix(self, workflow):
         matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
@@ -36,7 +70,6 @@ class TestWorkflow:
     def test_typecheck_runs_mypy_on_package(self, workflow):
         steps = workflow["jobs"]["typecheck"]["steps"]
         runs = " ".join(s.get("run") or "" for s in steps)
-        assert "pip install mypy" in runs
         assert "mypy src/repro" in runs
 
     def test_test_job_runs_pytest_with_src_on_path(self, workflow):
@@ -59,16 +92,33 @@ class TestWorkflow:
         assert "--fault consumer-stall:" in runs
         assert "--watchdog" in runs and "--invariants-every" in runs
 
-    def test_engine_benchmark_checks_baseline_and_uploads_artifact(self, workflow):
-        steps = workflow["jobs"]["engine-benchmark"]["steps"]
-        runs = " ".join(s.get("run") or "" for s in steps)
+    def test_backend_equivalence_runs_default_and_campaign_grid(self, workflow):
+        steps = workflow["jobs"]["backend-equivalence"]["steps"]
+        runs = [s.get("run") or "" for s in steps if s.get("run")]
+        eq_runs = [r for r in runs if "tests/test_backend_equivalence.py" in r]
+        # Both passes: the default ladder/property suite AND the full
+        # seeded smoke campaign grid (pytest -m campaign, which is
+        # deselected from the default suite by pyproject addopts).
+        assert any("-m campaign" in r for r in eq_runs)
+        assert any("-m campaign" not in r for r in eq_runs)
+        for step in steps:
+            if step.get("run") and "pytest" in step["run"]:
+                assert step["env"]["PYTHONPATH"] == "src"
+
+    def test_engine_benchmark_is_a_backend_matrix(self, workflow):
+        job = workflow["jobs"]["engine-benchmark"]
+        matrix = job["strategy"]["matrix"]
+        assert matrix["backend"] == ["reference", "vector"]
+        runs = " ".join(s.get("run") or "" for s in job["steps"])
         assert "benchmarks/report.py --smoke" in runs
+        assert "--backend ${{ matrix.backend }}" in runs
         assert "--check BENCH_engine.json" in runs
         upload = next(
-            s for s in steps if "upload-artifact" in (s.get("uses") or "")
+            s for s in job["steps"] if "upload-artifact" in (s.get("uses") or "")
         )
         assert upload["if"] == "always()"
-        assert upload["with"]["name"] == "BENCH_engine"
+        # Per-leg artifact names so the matrix legs don't collide.
+        assert "${{ matrix.backend }}" in upload["with"]["name"]
 
     def test_engine_benchmark_has_trace_overhead_guard(self, workflow):
         steps = workflow["jobs"]["engine-benchmark"]["steps"]
@@ -80,10 +130,56 @@ class TestWorkflow:
         # previous step wrote on the same runner.
         assert "--tolerance 0.02" in guard["run"]
         assert "--check BENCH_engine.ci.json" in guard["run"]
+        # Tracing is reference-only (the vector backend refuses a
+        # tracer), so the guard must not run on the vector matrix leg.
+        assert guard["if"] == "matrix.backend == 'reference'"
+
+    def test_speedup_job_gates_the_vector_floor(self, workflow):
+        job = workflow["jobs"]["engine-speedup"]
+        runs = " ".join(s.get("run") or "" for s in job["steps"])
+        assert "--backend both" in runs
+        assert "--min-speedup" in runs
+        upload = next(
+            s for s in job["steps"] if "upload-artifact" in (s.get("uses") or "")
+        )
+        assert upload["if"] == "always()"
+        assert "speedup" in upload["with"]["name"]
+
+    def test_speedup_floor_has_margin_under_the_measured_baseline(self, workflow):
+        """The CI floor must sit below the checked-in measured minimum.
+
+        Otherwise ordinary runner noise fails the gate, and the gate gets
+        deleted instead of trusted.  A floor above the baseline minimum
+        would also mean the checked-in numbers no longer back the claim.
+        """
+        import json
+        import re
+
+        runs = " ".join(
+            s.get("run") or ""
+            for s in workflow["jobs"]["engine-speedup"]["steps"]
+        )
+        floor = float(re.search(r"--min-speedup\s+([\d.]+)", runs).group(1))
+        baseline = json.loads((REPO / "BENCH_engine.json").read_text("utf-8"))
+        measured_min = min(baseline["vector_speedup"].values())
+        assert 1.0 < floor < measured_min
+
+    def test_checked_in_baseline_covers_both_backends(self):
+        import json
+
+        baseline = json.loads((REPO / "BENCH_engine.json").read_text("utf-8"))
+        results = baseline["cycles_per_second"]
+        # Every tracked scenario must carry a vector twin so the
+        # engine-benchmark vector leg has a baseline to gate against.
+        plain = {name for name in results if "@" not in name and "+" not in name}
+        for name in plain:
+            assert f"{name}@vector" in results, name
+        assert set(baseline["vector_speedup"]) == plain
 
     def test_gitignore_covers_generated_dirs(self):
         gitignore = (WORKFLOW.parents[2] / ".gitignore").read_text("utf-8")
         for entry in ("*.egg-info/", "__pycache__/", ".pytest_cache/",
                       ".hypothesis/", ".benchmarks/", ".repro_cache/",
-                      "results/", "BENCH_engine.ci.json"):
+                      "results/", "BENCH_engine.ci.json",
+                      "BENCH_engine.speedup.json"):
             assert entry in gitignore

@@ -112,6 +112,29 @@ class TestCommands:
             payload["first_deadlock_cycle"]
         )
 
+    def test_run_json_on_vector_backend(self, tmp_path, capsys):
+        """--json must work on the vector backend (episodes excepted).
+
+        The tracer is only *implied* by --json for episode stitching;
+        the vector backend refuses tracers, so the JSON carries every
+        reference field except `episodes` (empty).  Explicit --trace
+        stays a loud UnsupportedFeatureError (covered in the backend
+        equivalence suite).
+        """
+        base = [
+            "run", "--scheme", "PR", "--pattern", "PAT271", "--vcs", "4",
+            "--dims", "4x4", "--load", "0.012", "--warmup", "600",
+            "--measure", "2000",
+        ]
+        ref, vec = tmp_path / "ref.json", tmp_path / "vec.json"
+        assert main(base + ["--json", str(ref)]) == 0
+        assert main(base + ["--json", str(vec), "--backend", "vector"]) == 0
+        a = json.loads(ref.read_text())
+        b = json.loads(vec.read_text())
+        assert b.pop("episodes") == []
+        a.pop("episodes")
+        assert a == b
+
     def test_run_trace_and_timeseries_artifacts(self, tmp_path, capsys):
         trace = tmp_path / "run.trace.json"
         series = tmp_path / "run.csv"

@@ -209,7 +209,7 @@ class TestLinkRoundRobinAfterTailDeparture:
             (s_b, sinks["B"], False),
             (s_c, sinks["C"], False),
         ]
-        f._busy_links.add(lid)
+        f._busy_links.setdefault(lid)
         f._link_rr[lid] = 0
 
         winners = []

@@ -26,7 +26,7 @@ class TestStressBehaviour:
 
     def test_dr_deflects_under_heavy_load(self):
         e = build_engine(scheme="DR", pattern="PAT271", num_vcs=4,
-                         load=0.018, seed=3)
+                         load=0.022, seed=4)
         w = e.run_measured(1500, 2500)
         assert w.messages_delivered > 500
         assert e.scheme.controller.deflections > 0
@@ -48,7 +48,7 @@ class TestStressBehaviour:
 
     def test_dr_deflections_add_messages(self):
         e = build_engine(scheme="DR", pattern="PAT271", num_vcs=4,
-                         load=0.018, seed=3)
+                         load=0.022, seed=4)
         e.run(4000)
         deflected = [t for t in e.traffic.transactions if t.deflections]
         assert deflected
