@@ -54,6 +54,21 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--shared-extras", action="store_true")
     p.add_argument("--recovery-policy", default="minimum",
                    choices=["minimum", "drain"])
+    p.add_argument("--detector", default="endpoint",
+                   choices=["endpoint", "cmh", "timeout"],
+                   help="deadlock detection mechanism (SA allows only"
+                   " endpoint; cmh/timeout need the reference backend)")
+    p.add_argument("--detection-threshold", type=int, default=25,
+                   metavar="T", help="endpoint detector timeout in cycles")
+    p.add_argument("--timeout-threshold", type=int, default=200,
+                   metavar="T", help="timeout detector's progress timeout")
+    p.add_argument("--cmh-block-threshold", type=int, default=4, metavar="T",
+                   help="cycles a site must be blocked before probing")
+    p.add_argument("--cmh-probe-interval", type=int, default=64, metavar="N",
+                   help="cycles between probe waves of one blocked site")
+    p.add_argument("--cwg-interval", type=int, default=0, metavar="N",
+                   help="run the omniscient CWG ground-truth checker every"
+                   " N cycles (0 = off; reference backend only)")
     p.add_argument("--fault", action="append", default=[], dest="faults",
                    metavar="SPEC", type=parse_fault,
                    help="inject a fault, e.g."
@@ -110,6 +125,12 @@ def _config(args, load: float) -> SimConfig:
         seed=args.seed,
         shared_extras=args.shared_extras,
         recovery_policy=args.recovery_policy,
+        detector=args.detector,
+        detection_threshold=args.detection_threshold,
+        timeout_threshold=args.timeout_threshold,
+        cmh_block_threshold=args.cmh_block_threshold,
+        cmh_probe_interval=args.cmh_probe_interval,
+        cwg_interval=args.cwg_interval,
         load=load,
         faults=tuple(args.faults),
         invariants_every=args.invariants_every,
@@ -196,7 +217,15 @@ def _export_run_telemetry(args, engine, tracer, window) -> None:
             },
             "by_type": stats.by_type,
             "messages_created": stats.messages_created,
-            "first_deadlock_cycle": stats.first_deadlock_cycle,
+            "detector": (
+                engine.detector.describe()
+                if engine.detector is not None
+                else {"detector": None}
+            ),
+            "first_deadlock_cycle": (
+                stats.first_deadlock_cycle
+                if stats.first_deadlock_cycle >= 0 else None
+            ),
             "faults": (
                 engine.faults.activation_counts()
                 if engine.faults is not None else {}

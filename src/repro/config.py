@@ -18,6 +18,7 @@ from repro.util.errors import ConfigurationError
 _VALID_SCHEMES = ("SA", "DR", "PR", "NONE")
 _VALID_QUEUE_MODES = ("auto", "shared", "per-net", "per-type")
 _VALID_BACKENDS = ("reference", "vector")
+_VALID_DETECTORS = ("endpoint", "cmh", "timeout")
 
 
 @dataclass(frozen=True)
@@ -38,10 +39,26 @@ class SimConfig:
     #: (SA: per-type, DR: per-net, PR/NONE: shared).  Setting "per-type"
     #: for DR/PR yields the paper's Figure 11 "QA" configurations.
     queue_mode: str = "auto"
+    #: deadlock detection mechanism: "endpoint" is the paper's
+    #: three-condition detector; "cmh" is Chandy-Misra-Haas edge
+    #: chasing with real probe messages; "timeout" is a cheap
+    #: progress-timeout heuristic (false-positive-prone by design).
+    #: The CWG checker (``cwg_interval``) stays available as ground
+    #: truth regardless of this choice.
+    detector: str = "endpoint"
     #: endpoint detection timeout T (cycles), Section 4.1.
     detection_threshold: int = 25
     #: occupancy fraction both queues must exceed (1.0 = full).
     occupancy_threshold: float = 1.0
+    #: timeout detector: cycles an input queue may hold a waiting
+    #: message with no version change before the detector declares.
+    timeout_threshold: int = 200
+    #: CMH: cycles a site must be locally blocked before it starts an
+    #: edge chase (small — probes, not timers, provide the certainty).
+    cmh_block_threshold: int = 4
+    #: CMH: re-chase period while a site stays blocked undeclared
+    #: (covers probes that died against a then-moving frontier).
+    cmh_probe_interval: int = 64
     #: PR: cycles a packet header may block in-network before it is
     #: considered potentially deadlocked (Disha timeout).
     router_timeout: int = 25
@@ -100,6 +117,16 @@ class SimConfig:
             raise ConfigurationError(
                 f"backend {self.backend!r} not in {_VALID_BACKENDS}"
             )
+        if self.detector not in _VALID_DETECTORS:
+            raise ConfigurationError(
+                f"detector {self.detector!r} not in {_VALID_DETECTORS}"
+            )
+        if self.timeout_threshold < 1:
+            raise ConfigurationError("timeout_threshold must be positive")
+        if self.cmh_block_threshold < 1:
+            raise ConfigurationError("cmh_block_threshold must be positive")
+        if self.cmh_probe_interval < 1:
+            raise ConfigurationError("cmh_probe_interval must be positive")
         if self.num_vcs < 1:
             raise ConfigurationError("num_vcs must be positive")
         if self.flit_buffer_depth < 1:

@@ -18,7 +18,8 @@ reservations for any replies still owed to it along the deflected chain
 
 from __future__ import annotations
 
-from repro.core.detection import DetectorPair, build_detectors
+from repro.core.detection import DetectorPair
+from repro.core.detectors import build_detector
 from repro.protocol.message import Message, NetClass
 
 
@@ -28,14 +29,15 @@ class DeflectionController:
     def __init__(self, scheme, engine) -> None:
         self.scheme = scheme
         self.engine = engine
-        self.detectors = build_detectors(
-            scheme, engine, scheme.couplings, require_request_child=True
-        )
+        self.detector = build_detector(scheme, engine, require_request_child=True)
+        scheme.detector = self.detector
+        self.detectors = self.detector.sites
         self.deflections = 0
 
     def step(self, now: int) -> None:
         drain = self.scheme.config.recovery_policy == "drain"
         tracer = self.scheme.tracer
+        self.detector.pre_step(now)
         for det in self.detectors:
             if not det.step(now):
                 continue

@@ -109,10 +109,46 @@ class DetectorPair:
         self.episode_counted = False
 
 
-def build_detectors(
-    scheme, engine, couplings: set[tuple[str, str]], require_request_child: bool
-) -> list[DetectorPair]:
-    """One detector per NI per distinct (in-queue, out-queue) coupling.
+class TimeoutSite(DetectorPair):
+    """Cheap timeout heuristic: any waiting head + no queue progress.
+
+    Drops conditions 1-2 of the endpoint detector (queue stress, head
+    eligibility): the site fires whenever the input queue has held at
+    least one message through ``timeout_threshold`` cycles of unchanged
+    queue versions.  Deliberately false-positive-prone — a memory
+    controller busy elsewhere for long enough trips it — so it bounds
+    from below what detection certainty is worth.  Shares the
+    :class:`DetectorPair` state machine, so recovery controllers drive
+    it unchanged (their recovery preconditions still guard the action).
+    """
+
+    __slots__ = ()
+
+    def step(self, now: int) -> bool:
+        in_q = self._in_q
+        out_q = self._out_q
+        version = in_q.version + out_q.version
+        if version != self.last_version:
+            self.since = now
+            self.last_version = version
+            self.episode_counted = False
+            return False
+        controller = self.ni.controller
+        if controller.current is not None and controller.current_in_cls == self.in_cls:
+            conditions = False
+        else:
+            conditions = bool(in_q.entries)
+        if not conditions:
+            self.since = now
+            self.episode_counted = False
+            return False
+        return (now - self.since) > self.threshold
+
+
+def coupling_queue_pairs(
+    scheme, couplings: set[tuple[str, str]], require_request_child: bool
+) -> list[tuple[int, int]]:
+    """Distinct (in-queue class, out-queue class) pairs, in build order.
 
     ``couplings`` are (parent type name, child type name) pairs from the
     live traffic pattern/protocol; they are mapped through the scheme's
@@ -131,15 +167,26 @@ def build_detectors(
                 scheme.queue_class_of(child_t),
             )
         )
+    return sorted(pairs)
+
+
+def build_detectors(
+    scheme, engine, couplings: set[tuple[str, str]], require_request_child: bool,
+    site_class: type[DetectorPair] = DetectorPair, threshold: int | None = None,
+) -> list[DetectorPair]:
+    """One detector per NI per distinct (in-queue, out-queue) coupling."""
+    pairs = coupling_queue_pairs(scheme, couplings, require_request_child)
+    if threshold is None:
+        threshold = scheme.config.detection_threshold
     detectors: list[DetectorPair] = []
     for ni in engine.interfaces:
-        for in_cls, out_cls in sorted(pairs):
+        for in_cls, out_cls in pairs:
             detectors.append(
-                DetectorPair(
+                site_class(
                     ni=ni,
                     in_cls=in_cls,
                     out_cls=out_cls,
-                    threshold=scheme.config.detection_threshold,
+                    threshold=threshold,
                     occupancy_threshold=scheme.config.occupancy_threshold,
                     require_request_child=require_request_child,
                 )

@@ -1,0 +1,124 @@
+"""The common detector interface: one protocol, three mechanisms.
+
+The paper's schemes are agnostic to *how* deadlock is found; this
+module makes that explicit.  A :class:`Detector` owns a list of
+per-(NI, queue-coupling) **sites** — objects interface-compatible with
+:class:`~repro.core.detection.DetectorPair` — that the scheme
+controllers poll in build order every cycle, exactly as before.  The
+detector additionally gets one :meth:`Detector.pre_step` call at the
+top of the scheme's step, which is where distributed mechanisms (the
+Chandy-Misra-Haas edge chase) move their probes.
+
+Mechanisms
+----------
+``endpoint``
+    The paper's three-condition detector (:mod:`repro.core.detection`).
+``cmh``
+    Chandy-Misra-Haas edge chasing with real probe messages
+    (:mod:`repro.core.cmh`).
+``timeout``
+    The cheap progress-timeout heuristic
+    (:class:`~repro.core.detection.TimeoutSite`).
+
+The omniscient CWG checker (:mod:`repro.core.cwg`) is *not* a
+:class:`Detector`: it stays the out-of-band ground truth that the
+detection lab scores the in-band mechanisms against.
+"""
+
+from __future__ import annotations
+
+from repro.core.detection import DetectorPair, TimeoutSite, build_detectors
+from repro.util.errors import ConfigurationError
+
+#: overhead counter names every detector reports (zeros when N/A).
+OVERHEAD_FIELDS = (
+    "probes_sent", "probes_forwarded", "probes_returned",
+    "probes_dropped", "probe_hops",
+)
+
+
+class Detector:
+    """Base detector: a list of poll-compatible sites plus a pre-step.
+
+    ``sites`` is fixed at construction; scheme controllers iterate it in
+    order and call ``site.step(now)`` / ``site.reset(now)`` exactly as
+    they always did with bare :class:`DetectorPair` lists, so recovery
+    ordering (and with it bit-identicality on the default mechanism) is
+    untouched by the abstraction.
+    """
+
+    kind = "?"
+
+    def __init__(self, scheme, engine, sites) -> None:
+        self.scheme = scheme
+        self.engine = engine
+        self.sites = list(sites)
+        #: telemetry hook (repro.telemetry.Tracer) or None.
+        self.tracer = None
+
+    def pre_step(self, now: int) -> None:
+        """Per-cycle mechanism work before the sites are polled."""
+
+    def sites_at(self, node: int) -> list:
+        return [site for site in self.sites if site.ni.node == node]
+
+    def overhead(self) -> dict[str, int]:
+        """Probe-traffic bill of the run so far (all zero if probeless)."""
+        return {name: getattr(self, name, 0) for name in OVERHEAD_FIELDS}
+
+    def describe(self) -> dict:
+        return {"detector": self.kind, "sites": len(self.sites)}
+
+
+class EndpointDetector(Detector):
+    """The paper's three-condition endpoint detector (the default)."""
+
+    kind = "endpoint"
+
+    def __init__(self, scheme, engine, require_request_child: bool) -> None:
+        super().__init__(
+            scheme, engine,
+            build_detectors(
+                scheme, engine, scheme.couplings, require_request_child
+            ),
+        )
+
+
+class TimeoutDetector(Detector):
+    """Progress-timeout heuristic over the same site grid."""
+
+    kind = "timeout"
+
+    def __init__(self, scheme, engine, require_request_child: bool) -> None:
+        super().__init__(
+            scheme, engine,
+            build_detectors(
+                scheme, engine, scheme.couplings, require_request_child,
+                site_class=TimeoutSite,
+                threshold=scheme.config.timeout_threshold,
+            ),
+        )
+
+
+def build_detector(scheme, engine, require_request_child: bool) -> Detector:
+    """Instantiate the detector named by ``scheme.config.detector``."""
+    kind = scheme.config.detector
+    if kind == "endpoint":
+        return EndpointDetector(scheme, engine, require_request_child)
+    if kind == "timeout":
+        return TimeoutDetector(scheme, engine, require_request_child)
+    if kind == "cmh":
+        from repro.core.cmh import CmhDetector
+
+        return CmhDetector(scheme, engine, require_request_child)
+    raise ConfigurationError(f"unknown detector {kind!r}")
+
+
+__all__ = [
+    "Detector",
+    "EndpointDetector",
+    "TimeoutDetector",
+    "DetectorPair",
+    "build_detector",
+    "OVERHEAD_FIELDS",
+]

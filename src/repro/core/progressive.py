@@ -37,7 +37,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.core.detection import build_detectors
+from repro.core.detectors import build_detector
 from repro.core.token import Stop, Token, build_ring
 from repro.protocol.message import Message
 from repro.util.errors import SimulationError
@@ -143,9 +143,9 @@ class ProgressiveController:
         self.scheme = scheme
         self.engine = engine
         self.topology = engine.topology
-        self.detectors = build_detectors(
-            scheme, engine, scheme.couplings, require_request_child=False
-        )
+        self.detector = build_detector(scheme, engine, require_request_child=False)
+        scheme.detector = self.detector
+        self.detectors = self.detector.sites
         self._dets_by_node: dict[int, list] = {}
         for det in self.detectors:
             self._dets_by_node.setdefault(det.ni.node, []).append(det)
@@ -176,6 +176,7 @@ class ProgressiveController:
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
         # Detectors always run so episode timing is continuous.
+        self.detector.pre_step(now)
         self._fired = {}
         tracer = self.tracer
         for det in self.detectors:

@@ -65,6 +65,9 @@ class Scheme(ABC):
         self.engine = None
         #: telemetry hook (repro.telemetry.Tracer) or None.
         self.tracer = None
+        #: the detection mechanism (repro.core.detectors.Detector), built
+        #: on attach by schemes that detect; None for SA.
+        self.detector = None
         # Statistics common to all schemes.
         self.deadlocks_detected = 0
         self.recoveries = 0
@@ -189,6 +192,11 @@ class StrictAvoidance(Scheme):
 
     def __init__(self, config, topology, protocol, types_used, couplings):
         super().__init__(config, topology, protocol, types_used, couplings)
+        if config.detector != "endpoint":
+            raise ConfigurationError(
+                "SA runs no detector (deadlock cannot form); "
+                f"detector={config.detector!r} is meaningless here"
+            )
         num_classes = len(self.types_used)
         self.vc_map = partitioned_vc_map(
             config.num_vcs, num_classes, shared_extras=config.shared_extras
@@ -354,13 +362,13 @@ class DetectionOnly(Scheme):
 
     def attach(self, engine) -> None:
         super().attach(engine)
-        from repro.core.detection import build_detectors
+        from repro.core.detectors import build_detector
 
-        self.detectors = build_detectors(
-            self, engine, self.couplings, require_request_child=False
-        )
+        self.detector = build_detector(self, engine, require_request_child=False)
+        self.detectors = self.detector.sites
 
     def step(self, now: int) -> None:
+        self.detector.pre_step(now)
         for det in self.detectors:
             if det.step(now):
                 # Count each stalled episode once, at first firing.

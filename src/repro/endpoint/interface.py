@@ -138,3 +138,16 @@ class NetworkInterface:
     def progress_version(self) -> int:
         """Monotone counter that advances whenever the NI makes progress."""
         return self.in_bank.total_version() + self.out_bank.total_version()
+
+    def frontier_destinations(self, out_cls: int) -> set[int]:
+        """Destinations this NI's ``out_cls`` traffic is waiting to reach.
+
+        The local wait-for frontier used by edge-chasing detection: every
+        message parked in the output queue plus the packet currently
+        occupying the class's injection channel.
+        """
+        deps = {msg.dst for msg in self.out_bank.queue(out_cls).entries}
+        chan, _ = self._injection_pairs[out_cls]
+        if chan.owner is not None:
+            deps.add(chan.owner.dst)
+        return deps

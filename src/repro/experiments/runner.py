@@ -25,6 +25,7 @@ import traceback
 from repro.config import ExecutionConfig
 from repro.experiments import (
     ablations,
+    detection_lab,
     faults,
     fig6_load_rates,
     fig8_4vc,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "ablations": ablations,
     "faults": faults,
     "telemetry": telemetry,
+    "detection_lab": detection_lab,
 }
 
 

@@ -15,6 +15,7 @@ from repro.protocol.message import (
     Transaction,
     count_messages,
 )
+from repro.protocol.probe import PROBE_TYPE, Probe
 from repro.protocol.transactions import (
     PAT100,
     PAT271,
@@ -32,6 +33,8 @@ __all__ = [
     "NetClass",
     "Transaction",
     "count_messages",
+    "Probe",
+    "PROBE_TYPE",
     "Protocol",
     "GENERIC_MSI",
     "GENERIC_ORIGIN",

@@ -1,0 +1,88 @@
+"""Deadlock-detection probes for Chandy-Misra-Haas edge chasing.
+
+A probe is a real (single-flit) message: it carries the identity of the
+blocked *initiator site* that started the chase and travels from a
+blocked node to the nodes it waits on.  A node that receives a probe
+while itself blocked forwards copies along its own wait-for edges; a
+probe arriving back at its initiator proves a dependency cycle and the
+initiator declares deadlock (Chandy, Misra & Haas 1983, the AND model).
+
+Probes are *control-plane* traffic: they ride a dedicated overlay
+(:class:`repro.core.cmh.ProbeNetwork`) rather than the data-plane
+virtual channels, because the channels a probe must traverse are
+exactly the ones the suspected deadlock has wedged.  This mirrors the
+paper's PR token wiring — detection/recovery hardware gets its own
+conflict-free resources.  Probes therefore never enter the message-
+conservation ledger; their cost is reported separately (probe counts
+and hop totals in detector stats and telemetry).
+"""
+
+from __future__ import annotations
+
+from repro.protocol.message import Message, MessageType, NetClass
+
+#: the probe message type: one flit, request-class (it chases request
+#: dependencies), outside every protocol's chain order.
+PROBE_TYPE = MessageType(
+    "PROBE", index=-1, net_class=NetClass.REQUEST, flits=1
+)
+
+
+class Probe:
+    """One in-flight probe of an edge chase.
+
+    ``initiator``/``in_cls``/``out_cls`` name the blocked detector site
+    whose chase this probe belongs to; ``src``/``dst`` are the hop being
+    travelled; ``forwards`` counts edges traversed since initiation.
+    Each forward creates a fresh :class:`Probe` (probes fan out), so an
+    instance is immutable in practice.
+    """
+
+    __slots__ = (
+        "initiator", "in_cls", "out_cls", "src", "dst",
+        "started_cycle", "sent_cycle", "forwards", "message",
+    )
+
+    def __init__(
+        self,
+        initiator: int,
+        in_cls: int,
+        out_cls: int,
+        src: int,
+        dst: int,
+        started_cycle: int,
+        sent_cycle: int,
+        forwards: int = 0,
+    ) -> None:
+        self.initiator = initiator
+        self.in_cls = in_cls
+        self.out_cls = out_cls
+        self.src = src
+        self.dst = dst
+        self.started_cycle = started_cycle
+        self.sent_cycle = sent_cycle
+        self.forwards = forwards
+        #: the wrapped single-flit message (telemetry labelling).
+        self.message = Message(
+            PROBE_TYPE, src=src, dst=dst, created_cycle=sent_cycle
+        )
+
+    @property
+    def site(self) -> tuple[int, int, int]:
+        """The initiating site's identity: (node, in_cls, out_cls)."""
+        return (self.initiator, self.in_cls, self.out_cls)
+
+    def forwarded(self, src: int, dst: int, now: int) -> "Probe":
+        """A fresh probe continuing this chase over edge ``src -> dst``."""
+        return Probe(
+            self.initiator, self.in_cls, self.out_cls,
+            src=src, dst=dst,
+            started_cycle=self.started_cycle, sent_cycle=now,
+            forwards=self.forwards + 1,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Probe(init={self.initiator} {self.src}->{self.dst}"
+            f" fwd={self.forwards})"
+        )

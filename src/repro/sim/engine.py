@@ -105,6 +105,11 @@ class Engine:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def detector(self):
+        """The scheme's detection mechanism (None for SA)."""
+        return self.scheme.detector
+
     def attach_tracer(self, tracer) -> None:
         """Install a :class:`repro.telemetry.Tracer` on every hook site."""
         self.tracer = tracer

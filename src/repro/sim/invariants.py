@@ -106,10 +106,14 @@ def capture_dump(engine, reason: str = "") -> dict:
     controller = getattr(scheme, "controller", None)
     stats = engine.stats
 
+    first_deadlock = stats.first_deadlock_cycle
     dump: dict = {
         "reason": reason,
         "cycle": engine.now,
         "scheme": scheme.name,
+        "detector": getattr(engine.config, "detector", "endpoint"),
+        # None when the run quiesced (or wedged) without any detection.
+        "first_deadlock_cycle": first_deadlock if first_deadlock >= 0 else None,
         "phase": getattr(controller, "phase", None),
         "counters": {
             "messages_created": stats.messages_created,
@@ -229,6 +233,13 @@ def format_dump(dump: dict) -> str:
         f"deadlock dump @cycle {dump.get('cycle')}"
         f" [{dump.get('scheme')}/{dump.get('phase')}]: {dump.get('reason')}",
     ]
+    first = dump.get("first_deadlock_cycle")
+    detector = dump.get("detector")
+    if detector is not None or first is not None:
+        lines.append(
+            f"  detector: {detector or 'endpoint'}, first detection: "
+            + ("none" if first is None else f"cycle {first}")
+        )
     cons = dump.get("conservation", {})
     lines.append(
         f"  conservation: created={cons.get('created')}"
@@ -270,12 +281,16 @@ def format_dump(dump: dict) -> str:
     if episodes is not None:
         lines.append(f"  recovery episodes: {len(episodes)}")
         for epi in episodes[-4:]:
+            # Tolerate partial records: a formation of None (detection
+            # with no onset) and missing keys from older dumps.
+            form = epi.get("formation_cycle")
             lines.append(
-                f"    ep {epi['index']}: form={epi['formation_cycle']}"
-                f" detect={epi['detection_cycle']}"
-                f" resolve={epi['resolution_cycle']}"
-                f" drain={epi['drain_cycle']}"
-                f" msgs={len(epi['involved'])}"
+                f"    ep {epi.get('index', '?')}:"
+                f" form={'-' if form is None else form}"
+                f" detect={epi.get('detection_cycle')}"
+                f" resolve={epi.get('resolution_cycle')}"
+                f" drain={epi.get('drain_cycle')}"
+                f" msgs={len(epi.get('involved', ()))}"
             )
     return "\n".join(lines)
 

@@ -73,9 +73,26 @@ def code_version() -> str:
 
 def point_key(config: SimConfig, warmup: int, measure: int,
               code: str | None = None) -> str:
-    """Stable cache key for one (config, warmup, measure) point."""
+    """Stable cache key for one (config, warmup, measure) point.
+
+    ``asdict(config)`` already folds in every config field, but the
+    detector configuration is additionally spelled out: two runs that
+    differ only in detection mechanism or thresholds produce different
+    results, and a key omitting them (as a refactor of the config
+    serialization could silently reintroduce) would alias their cache
+    entries.  The explicit section makes that collision structurally
+    impossible; ``tests/test_parallel.py`` pins it.
+    """
     payload = {
         "config": asdict(config),
+        "detector": {
+            "kind": config.detector,
+            "detection_threshold": config.detection_threshold,
+            "occupancy_threshold": config.occupancy_threshold,
+            "timeout_threshold": config.timeout_threshold,
+            "cmh_block_threshold": config.cmh_block_threshold,
+            "cmh_probe_interval": config.cmh_probe_interval,
+        },
         "warmup": int(warmup),
         "measure": int(measure),
         "code": code if code is not None else code_version(),

@@ -59,6 +59,11 @@ def _check_supported(config: SimConfig) -> None:
         unsupported.append("the liveness watchdog (watchdog_timeout=...)")
     if config.cwg_interval:
         unsupported.append("CWG detection (cwg_interval=...)")
+    if config.detector != "endpoint":
+        # The lazy detector bank mirrors only the endpoint state
+        # machine; CMH probes and timeout sites need the reference
+        # engine's per-cycle visibility.
+        unsupported.append(f"non-default detectors (detector={config.detector!r})")
     if unsupported:
         raise UnsupportedFeatureError(
             "the vector backend does not support "

@@ -29,10 +29,15 @@ from repro.telemetry import events as ev
 
 @dataclass
 class RecoveryEpisode:
-    """One deadlock's reconstructed timeline and traffic bill."""
+    """One deadlock's reconstructed timeline and traffic bill.
+
+    ``formation_cycle`` may be ``None`` when the detection event carried
+    no onset (``since``) information — a detector firing with no queue
+    history, e.g. declared on a cycle with zero live messages.
+    """
 
     index: int
-    formation_cycle: int
+    formation_cycle: int | None
     detection_cycle: int
     resolution_cycle: int | None = None
     drain_cycle: int | None = None
@@ -41,6 +46,8 @@ class RecoveryEpisode:
     captures: int = 0
     releases: int = 0
     rescue_legs: int = 0
+    #: CMH probe messages observed during this episode's window.
+    probes: int = 0
     #: local ids of messages the episode touched (victims + BRPs).
     involved: list[int] = field(default_factory=list)
     #: labels for ``involved``, index-aligned.
@@ -50,8 +57,10 @@ class RecoveryEpisode:
 
     # -- latencies -----------------------------------------------------
     @property
-    def detection_latency(self) -> int:
+    def detection_latency(self) -> int | None:
         """Cycles from condition formation to the scheme's first action."""
+        if self.formation_cycle is None:
+            return None
         return self.detection_cycle - self.formation_cycle
 
     @property
@@ -91,9 +100,15 @@ class RecoveryEpisode:
             "captures": self.captures,
             "releases": self.releases,
             "rescue_legs": self.rescue_legs,
+            "probes": self.probes,
             "involved": list(self.involved_labels),
             "extra_messages": len(self.extra_messages),
         }
+
+
+_PROBE_KINDS = frozenset(
+    (ev.PROBE_SEND, ev.PROBE_FORWARD, ev.PROBE_RETURN, ev.PROBE_DROP)
+)
 
 
 class _Stitcher:
@@ -104,21 +119,28 @@ class _Stitcher:
         self.current: RecoveryEpisode | None = None
         #: episode -> set of involved mids not yet consumed.
         self.pending: dict[int, set[int]] = {}
+        #: probe events seen before any episode opened.
+        self._probe_backlog = 0
 
     # -- episode bookkeeping -------------------------------------------
-    def _open_or_extend(self, since: int, cycle: int) -> RecoveryEpisode:
+    def _open_or_extend(self, since: int | None, cycle: int) -> RecoveryEpisode:
         epi = self.current
+        onset = cycle if since is None else since
         if epi is not None and (
-            epi.resolution_cycle is None or since <= epi.resolution_cycle
+            epi.resolution_cycle is None or onset <= epi.resolution_cycle
         ):
-            if since < epi.formation_cycle:
+            if since is not None and (
+                epi.formation_cycle is None or since < epi.formation_cycle
+            ):
                 epi.formation_cycle = since
             return epi
         epi = RecoveryEpisode(
             index=len(self.episodes),
             formation_cycle=since,
             detection_cycle=cycle,
+            probes=self._probe_backlog,
         )
+        self._probe_backlog = 0
         self.episodes.append(epi)
         self.pending[epi.index] = set()
         self.current = epi
@@ -133,8 +155,15 @@ class _Stitcher:
     # -- event dispatch ------------------------------------------------
     def feed(self, cycle: int, kind: str, payload: dict, label_of) -> None:
         if kind == ev.DETECT:
-            epi = self._open_or_extend(payload["since"], cycle)
+            epi = self._open_or_extend(payload.get("since"), cycle)
             epi.detections += 1
+        elif kind in _PROBE_KINDS:
+            # Probe traffic bills to the wave it is chasing: the open
+            # episode if any, otherwise the next one to open.
+            if self.current is not None:
+                self.current.probes += 1
+            else:
+                self._probe_backlog += 1
         elif kind == ev.DEFLECT:
             epi = self._open_or_extend(payload["since"], cycle)
             epi.deflections += 1
@@ -179,18 +208,21 @@ def stitch_episodes(tracer) -> list[RecoveryEpisode]:
 
 _COLUMNS = (
     ("ep", lambda e: str(e.index)),
-    ("form", lambda e: str(e.formation_cycle)),
+    ("form", lambda e: "-" if e.formation_cycle is None
+     else str(e.formation_cycle)),
     ("detect", lambda e: str(e.detection_cycle)),
     ("resolve", lambda e: "-" if e.resolution_cycle is None
      else str(e.resolution_cycle)),
     ("drain", lambda e: "-" if e.drain_cycle is None
      else str(e.drain_cycle)),
-    ("d.lat", lambda e: str(e.detection_latency)),
+    ("d.lat", lambda e: "-" if e.detection_latency is None
+     else str(e.detection_latency)),
     ("r.lat", lambda e: "-" if e.resolution_latency is None
      else str(e.resolution_latency)),
     ("msgs", lambda e: str(len(e.involved))),
     ("brp", lambda e: str(len(e.extra_messages))),
     ("legs", lambda e: str(e.rescue_legs)),
+    ("probes", lambda e: str(e.probes)),
 )
 
 

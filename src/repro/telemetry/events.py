@@ -45,6 +45,10 @@ VC_GRANT = "vc_grant"
 DELIVERED = "delivered"
 CONSUMED = "consumed"
 DETECT = "detect"
+PROBE_SEND = "probe_send"
+PROBE_FORWARD = "probe_forward"
+PROBE_RETURN = "probe_return"
+PROBE_DROP = "probe_drop"
 DEFLECT = "deflect"
 TOKEN_HOP = "token_hop"
 TOKEN_CAPTURE = "token_capture"
@@ -56,7 +60,8 @@ FAULT_REVOKED = "fault_revoked"
 
 EVENT_KINDS = (
     CREATED, ADMITTED, INJECTED, BLOCKED, UNBLOCKED, VC_GRANT, DELIVERED,
-    CONSUMED, DETECT, DEFLECT, TOKEN_HOP, TOKEN_CAPTURE, TOKEN_RELEASE,
+    CONSUMED, DETECT, PROBE_SEND, PROBE_FORWARD, PROBE_RETURN, PROBE_DROP,
+    DEFLECT, TOKEN_HOP, TOKEN_CAPTURE, TOKEN_RELEASE,
     TOKEN_REGEN, RESCUE_LEG, FAULT_APPLIED, FAULT_REVOKED,
 )
 
@@ -138,6 +143,9 @@ class Tracer:
             ni.controller.tracer = self
         scheme = engine.scheme
         scheme.tracer = self
+        detector = getattr(scheme, "detector", None)
+        if detector is not None:
+            detector.tracer = self
         controller = getattr(scheme, "controller", None)
         if controller is not None:
             controller.tracer = self
@@ -233,6 +241,30 @@ class Tracer:
             "node": node, "in_cls": in_cls, "out_cls": out_cls,
             "since": since,
         })
+
+    def _probe_event(self, kind: str, probe, now: int) -> None:
+        self._record(now, kind, {
+            "mid": self._mid(probe.message),
+            "initiator": probe.initiator, "src": probe.src, "dst": probe.dst,
+            "in_cls": probe.in_cls, "out_cls": probe.out_cls,
+            "forwards": probe.forwards,
+        })
+
+    def probe_sent(self, probe, now: int) -> None:
+        """CMH: a blocked initiator launched one probe of a chase wave."""
+        self._probe_event(PROBE_SEND, probe, now)
+
+    def probe_forwarded(self, probe, now: int) -> None:
+        """CMH: a blocked node continued a chase along a wait-for edge."""
+        self._probe_event(PROBE_FORWARD, probe, now)
+
+    def probe_returned(self, probe, now: int) -> None:
+        """CMH: a probe closed its cycle — the initiator declares."""
+        self._probe_event(PROBE_RETURN, probe, now)
+
+    def probe_dropped(self, probe, now: int) -> None:
+        """CMH: a probe died (receiver unblocked, engaged, or stale)."""
+        self._probe_event(PROBE_DROP, probe, now)
 
     def deflection(self, node: int, head, brp, since: int, now: int) -> None:
         """DR recovery: ``head`` deflected back to its requester as ``brp``.

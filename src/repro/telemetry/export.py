@@ -37,6 +37,10 @@ TID_FAULTS = 4
 
 _INSTANT_TRACKS = {
     ev.DETECT: ("detect", TID_DETECTION),
+    ev.PROBE_SEND: ("probe_send", TID_DETECTION),
+    ev.PROBE_FORWARD: ("probe_forward", TID_DETECTION),
+    ev.PROBE_RETURN: ("probe_return", TID_DETECTION),
+    ev.PROBE_DROP: ("probe_drop", TID_DETECTION),
     ev.DEFLECT: ("deflect", TID_RECOVERY),
     ev.RESCUE_LEG: ("rescue_leg", TID_RECOVERY),
     ev.VC_GRANT: ("vc_grant", TID_RECOVERY),

@@ -122,6 +122,27 @@ def test_saturated_dr_exercises_deflection():
     assert snap["deflections"] > 0, "point too light to exercise deflection"
 
 
+def test_dr_drain_mode_rearm_ties_identical():
+    """Timer-expiry ordering audit: same-cycle ties + mid-loop re-arm.
+
+    DR's drain policy keeps deflecting queue heads in a while-loop after
+    the first success, which re-arms the detector *mid-step* — the
+    vector bank's ``_rearm_midloop`` path, which must leave the site
+    dirty so the next cycle re-collects a still-fired detector even
+    though its calendar entry is stale.  At saturation several nodes'
+    timers expire on the same cycle, so this also pins the bank's
+    expiry ordering against the reference engine's build-order scan.
+    """
+    snap = assert_backends_identical(
+        4000,
+        scheme="DR", pattern="PAT271", dims=(8, 8), num_vcs=4,
+        load=0.022, seed=4, recovery_policy="drain",
+    )
+    assert snap["deflections"] > 1, (
+        "point too light to exercise drain-mode re-arm"
+    )
+
+
 def test_run_point_results_identical():
     """The sweep-facing surface (RunResult) agrees field for field."""
     base = dict(
@@ -160,6 +181,8 @@ def test_unsupported_features_raise():
         dict(watchdog_timeout=1000),
         dict(invariants_every=100),
         dict(cwg_interval=50),
+        dict(detector="cmh"),
+        dict(detector="timeout"),
     ):
         with pytest.raises(UnsupportedFeatureError):
             build_engine(SimConfig(backend="vector", **base, **extra))

@@ -29,7 +29,7 @@ class TestWorkflow:
         assert set(workflow["jobs"]) == {
             "lint", "typecheck", "test", "smoke-benchmark",
             "engine-benchmark", "engine-speedup", "fault-smoke",
-            "backend-equivalence",
+            "backend-equivalence", "detection-smoke",
         }
 
     def test_concurrency_cancels_superseded_runs(self, workflow):
@@ -91,6 +91,20 @@ class TestWorkflow:
         assert "repro.experiments.runner smoke faults" in runs
         assert "--fault consumer-stall:" in runs
         assert "--watchdog" in runs and "--invariants-every" in runs
+
+    def test_detection_smoke_runs_lab_and_cmh_cli(self, workflow):
+        steps = workflow["jobs"]["detection-smoke"]["steps"]
+        runs = " ".join(s.get("run") or "" for s in steps)
+        # The lab's run() raises on any broken guarantee, so the
+        # runner's exit code is the gate.
+        assert "repro.experiments.runner smoke detection_lab" in runs
+        # And one end-to-end CMH run through the CLI, with the CWG
+        # ground-truth checker armed alongside the probes.
+        assert "--detector cmh" in runs
+        assert "--cwg-interval" in runs
+        for step in steps:
+            if step.get("run") and "repro" in step["run"]:
+                assert step["env"]["PYTHONPATH"] == "src"
 
     def test_backend_equivalence_runs_default_and_campaign_grid(self, workflow):
         steps = workflow["jobs"]["backend-equivalence"]["steps"]

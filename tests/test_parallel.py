@@ -131,6 +131,25 @@ class TestResultCache:
         assert point_key(tiny_config(seed=2), WARMUP, MEASURE) != base
         assert point_key(tiny_config(), WARMUP, MEASURE) == base
 
+    def test_key_covers_full_detector_configuration(self):
+        """Collision regression: two runs differing only in detection
+        mechanism or thresholds must never alias one cache entry."""
+        base = point_key(tiny_config(), WARMUP, MEASURE)
+        variants = (
+            dict(detector="cmh"),
+            dict(detector="timeout"),
+            dict(detection_threshold=26),
+            dict(occupancy_threshold=0.9),
+            dict(timeout_threshold=201),
+            dict(cmh_block_threshold=5),
+            dict(cmh_probe_interval=65),
+        )
+        keys = [point_key(tiny_config(**v), WARMUP, MEASURE) for v in variants]
+        assert base not in keys
+        assert len(set(keys)) == len(keys), "detector variants collided"
+        # Same detector configuration -> same key (cache still hits).
+        assert point_key(tiny_config(detector="cmh"), WARMUP, MEASURE) == keys[0]
+
     def test_changed_window_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         run_points(tiny_configs(), WARMUP, MEASURE, cache=cache)
