@@ -12,6 +12,10 @@ experiments
     ``repro.experiments.runner``).
 trace
     Generate a synthetic Splash-2-like trace file.
+farm
+    Distributed sweep campaigns: ``plan`` a campaign directory, ``run``
+    it across a set of hosts, ``status`` it mid-flight, ``resume`` a
+    killed run (finished points come straight from the cache).
 """
 
 from __future__ import annotations
@@ -277,6 +281,112 @@ def cmd_experiments(args) -> int:
     return runner.main(argv)
 
 
+def cmd_farm_plan(args) -> int:
+    from repro.farm import CampaignSpec
+
+    loads = [float(x) for x in args.loads.split(",")]
+    configs = tuple(_config(args, load) for load in loads)
+    spec = CampaignSpec(
+        configs=configs, warmup=args.warmup, measure=args.measure,
+        shard_size=args.shard_size, name=args.name,
+    )
+    path = spec.save(args.dir)
+    shards = -(-len(configs) // args.shard_size)
+    print(f"planned {len(configs)} points in {shards} shards -> {path}")
+    return 0
+
+
+def _write_farm_state(directory, report: dict) -> None:
+    from pathlib import Path
+
+    from repro.farm.plan import STATE_FILENAME
+
+    path = Path(directory) / STATE_FILENAME
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(report, indent=1), "utf-8")
+    tmp.replace(path)
+
+
+def cmd_farm_run(args) -> int:
+    from repro.farm import (
+        CampaignSpec,
+        ChaosWorker,
+        FarmManager,
+        FarmPolicy,
+        parse_hosts,
+        parse_worker_fault,
+    )
+    from repro.sim.parallel import ResultCache
+
+    spec = CampaignSpec.load(args.dir)
+    workers = parse_hosts(
+        args.hosts, point_timeout=args.point_timeout,
+        job_timeout=args.job_timeout,
+    )
+    if args.chaos:
+        faults = tuple(parse_worker_fault(text) for text in args.chaos)
+        workers = [ChaosWorker(w, faults) for w in workers]
+    policy = FarmPolicy(
+        retries=args.retries,
+        hang_timeout=args.hang_timeout,
+    )
+    tracer = None
+    if args.trace:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+    cache = ResultCache(args.cache_dir)
+    manager = FarmManager(
+        workers, cache=cache, policy=policy, tracer=tracer
+    )
+    try:
+        results = manager.run(spec)
+    except SweepExecutionError as exc:
+        _write_farm_state(args.dir, manager.report())
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if tracer is not None:
+            from repro.telemetry import export_perfetto
+
+            export_perfetto(tracer, args.trace)
+            print(f"wrote {args.trace} ({tracer.events_recorded} events)")
+    report = manager.report()
+    _write_farm_state(args.dir, report)
+    print(f"{'load':>8s} {'thr(fpc)':>9s} {'latency':>9s} {'deadlocks':>10s}")
+    for r in results:
+        print(f"{r.load:8.4f} {r.throughput_fpc:9.4f}"
+              f" {r.mean_latency:8.1f}c {r.deadlocks:10d}")
+    print(f"campaign {spec.name}: {report['computed']} computed,"
+          f" {report['cached']} cached, {report['elapsed_ms']} ms")
+    for host, info in report["hosts"].items():
+        print(f"  {host:16s} {info['state']:11s}"
+              f" ok={info['shards_ok']} failed={info['shards_failed']}")
+    return 0
+
+
+def cmd_farm_status(args) -> int:
+    from pathlib import Path
+
+    from repro.farm import CampaignSpec, resolve_cached
+    from repro.farm.plan import STATE_FILENAME
+    from repro.sim.parallel import ResultCache
+
+    spec = CampaignSpec.load(args.dir)
+    progress = resolve_cached(spec, ResultCache(args.cache_dir))
+    print(f"campaign {spec.name}: {progress.cached}/{progress.total}"
+          f" points cached, {len(progress.missing)} to compute")
+    state_path = Path(args.dir) / STATE_FILENAME
+    if state_path.exists():
+        state = json.loads(state_path.read_text("utf-8"))
+        print(f"last run: {state.get('computed', '?')} computed,"
+              f" failed={state.get('failed', [])}")
+        for host, info in state.get("hosts", {}).items():
+            print(f"  {host:16s} {info['state']:11s}"
+                  f" ok={info['shards_ok']} failed={info['shards_failed']}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.traffic.splash import generate_app_trace
     from repro.traffic.trace import write_trace
@@ -328,6 +438,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("names", nargs="*")
     _add_execution_args(p)
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("farm", help="distributed sweep campaigns")
+    farm_sub = p.add_subparsers(dest="farm_command", required=True)
+
+    fp = farm_sub.add_parser("plan", help="write a campaign directory")
+    _add_config_args(fp)
+    fp.add_argument("dir", help="campaign directory (created if needed)")
+    fp.add_argument("--loads", default="0.002,0.004,0.008,0.012,0.016")
+    fp.add_argument("--warmup", type=int, default=2000)
+    fp.add_argument("--measure", type=int, default=5000)
+    fp.add_argument("--shard-size", type=_positive_int, default=4)
+    fp.add_argument("--name", default="campaign")
+    fp.set_defaults(func=cmd_farm_plan)
+
+    for verb, blurb in (
+        ("run", "execute a planned campaign across hosts"),
+        ("resume", "continue a killed campaign (same as run:"
+                   " cached points are never recomputed)"),
+    ):
+        fp = farm_sub.add_parser(verb, help=blurb)
+        fp.add_argument("dir", help="campaign directory")
+        fp.add_argument("--hosts", default="local",
+                        help="comma-separated workers: local[:N],"
+                        " ssh:HOST[:python], ext:DIR"
+                        " (default: %(default)s)")
+        fp.add_argument("--retries", type=int, default=2,
+                        help="re-dispatch budget per shard")
+        fp.add_argument("--hang-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abandon a dispatch with no answer after"
+                        " this long and retry it elsewhere")
+        fp.add_argument("--point-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-point wall-clock limit on local workers")
+        fp.add_argument("--job-timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="transport deadline for ssh/ext workers")
+        fp.add_argument("--chaos", action="append", default=[],
+                        metavar="SPEC",
+                        help="inject a worker fault, e.g."
+                        " crash:host=local0,at=1 (repeatable)")
+        fp.add_argument("--trace", metavar="PATH",
+                        help="write the campaign timeline as a"
+                        " Perfetto trace-event JSON file")
+        fp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+        fp.set_defaults(func=cmd_farm_run)
+
+    fp = farm_sub.add_parser("status", help="campaign progress from cache")
+    fp.add_argument("dir", help="campaign directory")
+    fp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    fp.set_defaults(func=cmd_farm_status)
 
     p = sub.add_parser("trace", help="generate a synthetic app trace")
     p.add_argument("app", choices=["fft", "lu", "radix", "water"])

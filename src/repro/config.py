@@ -187,6 +187,13 @@ class ExecutionConfig:
     #: wall-clock seconds a single point may run before its worker is
     #: killed and the point retried (None = no timeout).
     point_timeout: float | None = None
+    #: route point execution through the distributed farm
+    #: (:mod:`repro.farm`) instead of a local process pool: a
+    #: comma-separated host spec in the ``repro farm --hosts`` syntax
+    #: (``local[:N]``, ``ssh:HOST[:python]``, ``ext:DIR``).  None keeps
+    #: local execution.  Results stay bit-identical either way; like
+    #: every other field here, this can never leak into a cache key.
+    farm_hosts: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -195,3 +202,5 @@ class ExecutionConfig:
             raise ConfigurationError("retries must be non-negative")
         if self.point_timeout is not None and self.point_timeout <= 0:
             raise ConfigurationError("point_timeout must be positive")
+        if self.farm_hosts is not None and not self.farm_hosts.strip():
+            raise ConfigurationError("farm_hosts must name at least one host")

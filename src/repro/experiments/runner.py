@@ -3,14 +3,18 @@
 Usage::
 
     python -m repro.experiments.runner [smoke|paper] [exp ...] \\
-        [--workers N] [--no-cache] [--cache-dir DIR]
+        [--workers N] [--hosts SPEC] [--no-cache] [--cache-dir DIR]
 
 With no experiment names, all of them run in order.  ``paper`` scale
 uses the paper's 30,000-cycle measurement windows and takes hours
 serially; ``--workers N`` fans sweep points across N processes, and the
 on-disk result cache (on by default, see :mod:`repro.sim.parallel`)
 lets an interrupted paper-scale run resume instead of restarting.
-``smoke`` (default) finishes in minutes.
+``--hosts SPEC`` goes further and fans sweep points across a
+fault-tolerant farm (:mod:`repro.farm`) — the same comma-separated
+``local[:N]``/``ssh:HOST``/``ext:DIR`` syntax as ``repro farm run`` —
+with results bit-identical to local execution and shared through the
+same cache.  ``smoke`` (default) finishes in minutes.
 
 Exits non-zero on an unknown argument or a failed experiment, so CI
 smoke jobs fail loudly when regeneration breaks.
@@ -37,7 +41,9 @@ from repro.experiments import (
     telemetry,
     trace_deadlocks,
 )
+from repro.farm import parse_hosts
 from repro.sim.parallel import DEFAULT_CACHE_DIR, set_default_execution
+from repro.util.errors import ConfigurationError
 
 EXPERIMENTS = {
     "table1": table1_responses,
@@ -62,6 +68,7 @@ def parse_args(argv: list[str]) -> tuple[str, list[str], ExecutionConfig]:
     workers = 1
     use_cache = True
     cache_dir = DEFAULT_CACHE_DIR
+    farm_hosts: str | None = None
     it = iter(argv)
     for arg in it:
         if arg in ("smoke", "paper"):
@@ -80,6 +87,16 @@ def parse_args(argv: list[str]) -> tuple[str, list[str], ExecutionConfig]:
             if not value:
                 raise SystemExit("--cache-dir needs a path")
             cache_dir = value
+        elif arg == "--hosts" or arg.startswith("--hosts="):
+            value = arg.partition("=")[2] if "=" in arg else next(it, None)
+            if not value:
+                raise SystemExit("--hosts needs a host specification")
+            # Fail on a malformed spec here, before hours of sweeps.
+            try:
+                parse_hosts(value)
+            except ConfigurationError as exc:
+                raise SystemExit(f"bad --hosts: {exc}") from exc
+            farm_hosts = value
         else:
             raise SystemExit(
                 f"unknown argument {arg!r}; experiments: {sorted(EXPERIMENTS)}"
@@ -89,6 +106,7 @@ def parse_args(argv: list[str]) -> tuple[str, list[str], ExecutionConfig]:
         use_cache=use_cache,
         cache_dir=cache_dir,
         progress=True,
+        farm_hosts=farm_hosts,
     )
     return scale, names or list(EXPERIMENTS), execution
 

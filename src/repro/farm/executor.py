@@ -1,0 +1,69 @@
+"""Farm-backed point execution behind the ``run_points`` contract.
+
+:func:`farm_run_points` lets the sweep layer — and therefore every
+experiment module — fan a batch of points across farm hosts instead of
+a local process pool, without the caller knowing anything about shards,
+health states or transports.  It takes the same (configs, warmup,
+measure) arguments as :func:`repro.sim.parallel.run_points`, returns
+results in the same order, and goes through the same per-point cache
+keys, so a sweep executed on a farm is bit-identical to (and resumable
+interchangeably with) a local one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config import SimConfig
+from repro.farm.manager import FarmManager, FarmPolicy
+from repro.farm.plan import CampaignSpec
+from repro.farm.workers import FarmWorker, LocalPoolWorker
+from repro.sim.parallel import ResultCache
+from repro.sim.results import RunResult
+
+
+def farm_width(workers: Sequence[FarmWorker]) -> int:
+    """How many points the farm can usefully hold in flight at once.
+
+    Local pool workers count their process width; remote transports
+    count one slot each (the manager dispatches one shard per host at a
+    time regardless of how wide the remote machine is).
+    """
+    return sum(
+        w.workers if isinstance(w, LocalPoolWorker) else 1 for w in workers
+    )
+
+
+def farm_run_points(
+    configs: Sequence[SimConfig],
+    warmup: int,
+    measure: int,
+    workers: Sequence[FarmWorker],
+    *,
+    cache: ResultCache | None = None,
+    retries: int = 2,
+    policy: FarmPolicy | None = None,
+    tracer=None,
+    name: str = "sweep",
+) -> list[RunResult]:
+    """Run every config's point across ``workers``; ordered results.
+
+    Single-point shards keep dispatch granularity identical to
+    ``run_points``: a lost host re-costs one point, not a chunk.
+    Exhausted retries raise :class:`SweepExecutionError` with per-host
+    attribution, exactly like a farm campaign — successful points stay
+    in ``cache``, so the rerun resumes.
+    """
+    spec = CampaignSpec(
+        configs=tuple(configs),
+        warmup=warmup,
+        measure=measure,
+        shard_size=1,
+        name=name,
+    )
+    if policy is None:
+        policy = FarmPolicy(retries=retries)
+    manager = FarmManager(
+        list(workers), cache=cache, policy=policy, tracer=tracer
+    )
+    return manager.run(spec)

@@ -1,0 +1,134 @@
+"""Per-host health: a small state machine the dispatcher consults.
+
+States and transitions::
+
+    healthy --failure--> suspect --more failures--> quarantined
+       ^                    |                           |
+       |----success---------+                           | probation
+       |                                                v   elapses
+       +<------probe succeeds------ probation <---------+
+                                        |
+                                        +--probe fails--> quarantined
+                                                          (delay doubles)
+
+* **healthy** hosts are preferred for dispatch.
+* **suspect** hosts (one or more recent failures) still receive work,
+  but only when no healthy host is idle — a single flake should not
+  idle a machine, and a genuinely sick one graduates to quarantine on
+  its own.
+* **quarantined** hosts receive nothing until their probation delay
+  elapses, then exactly one *probe* shard: success restores them fully,
+  failure re-quarantines with a doubled delay (capped), so a
+  permanently dead machine costs the campaign one probe per
+  exponentially growing interval — graceful degradation instead of an
+  abort.
+
+The machine is purely logical: it never reads a clock itself.  The
+manager feeds it timestamps (milliseconds since campaign start), which
+keeps every transition reproducible under an injected clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+PROBATION = "probation"
+
+#: dispatch preference order: lower ranks are picked first.
+_STATE_RANK = {HEALTHY: 0, SUSPECT: 1, PROBATION: 2, QUARANTINED: 3}
+
+
+@dataclass
+class HostHealth:
+    """Health record of one farm worker."""
+
+    name: str
+    #: consecutive failures before healthy -> suspect.
+    suspect_after: int = 1
+    #: consecutive failures before -> quarantined.
+    quarantine_after: int = 2
+    #: first probation delay in milliseconds; doubles per failed probe.
+    probation_ms: int = 2_000
+    #: probation delay cap in milliseconds.
+    probation_cap_ms: int = 60_000
+
+    state: str = HEALTHY
+    consecutive_failures: int = 0
+    shards_ok: int = 0
+    shards_failed: int = 0
+    last_error: str = ""
+    quarantined_until: int = 0
+    _current_probation_ms: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._current_probation_ms = self.probation_ms
+
+    # ------------------------------------------------------------------
+    # Dispatcher interface
+    # ------------------------------------------------------------------
+    def can_dispatch(self, now_ms: int) -> bool:
+        """May this host receive a shard right now?
+
+        Purely a query: a quarantined host whose probation delay has
+        elapsed answers yes, and the manager calls
+        :meth:`begin_probation` if and when it actually hands over the
+        probe shard.  ``probation`` answers no — the single probe is
+        already in flight.
+        """
+        if self.state in (HEALTHY, SUSPECT):
+            return True
+        return self.state == QUARANTINED and now_ms >= self.quarantined_until
+
+    def begin_probation(self, now_ms: int) -> None:
+        """The manager dispatched the probe shard of a quarantined host."""
+        if self.state == QUARANTINED:
+            self.state = PROBATION
+
+    def rank(self) -> int:
+        """Preference rank for host selection (lower = preferred)."""
+        return _STATE_RANK[self.state]
+
+    # ------------------------------------------------------------------
+    # Outcome accounting
+    # ------------------------------------------------------------------
+    def record_success(self, now_ms: int) -> str:
+        """A shard completed here; returns the resulting state."""
+        self.shards_ok += 1
+        self.consecutive_failures = 0
+        self.state = HEALTHY
+        self._current_probation_ms = self.probation_ms
+        return self.state
+
+    def record_failure(self, now_ms: int, error: str = "") -> str:
+        """A shard failed here; returns the resulting state."""
+        self.shards_failed += 1
+        self.consecutive_failures += 1
+        self.last_error = error
+        if self.state == PROBATION:
+            # The probe failed: back into quarantine, twice as patient.
+            self._current_probation_ms = min(
+                self.probation_cap_ms, self._current_probation_ms * 2
+            )
+            self.state = QUARANTINED
+            self.quarantined_until = now_ms + self._current_probation_ms
+        elif self.consecutive_failures >= self.quarantine_after:
+            self.state = QUARANTINED
+            self.quarantined_until = now_ms + self._current_probation_ms
+        elif self.consecutive_failures >= self.suspect_after:
+            self.state = SUSPECT
+        return self.state
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The per-host attribution block of ``SweepExecutionError``."""
+        return {
+            "state": self.state,
+            "shards_ok": self.shards_ok,
+            "shards_failed": self.shards_failed,
+            "last_error": self.last_error,
+        }

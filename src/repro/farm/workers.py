@@ -1,0 +1,244 @@
+"""Farm workers: pluggable executors for one shard of a campaign.
+
+A worker is anything with a ``name`` and a blocking
+``run_shard(job) -> ShardOutcome`` — the manager calls it from a
+dispatch thread, so a worker may take seconds or minutes.  Three
+transports ship here:
+
+``LocalPoolWorker``
+    Wraps :func:`repro.sim.parallel.run_points` — today's in-process
+    fan-out becomes one farm host, with its own process-pool width and
+    per-point wall-clock timeout.
+``SSHHostWorker``
+    Pipes a JSON job document to ``python -m repro.farm.remote`` on a
+    remote machine over plain ``ssh`` (stdlib :mod:`subprocess`, no new
+    dependencies).  A custom ``command`` replaces the ssh prefix, which
+    is also how tests exercise the full wire protocol without a daemon.
+``ExternalWorker``
+    The job-dir protocol for externally provisioned machines: the
+    manager drops ``<root>/jobs/<job>.json``, the external agent
+    (``repro.farm.remote --serve``) answers into
+    ``<root>/results/<job>.json``; both sides rename atomically.
+
+Workers *return results*; they never touch the campaign cache.  The
+manager validates every outcome before a single byte reaches
+``.repro_cache``, so a worker returning garbage is a health event, not
+a corrupted campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.config import SimConfig
+from repro.farm.plan import Shard, config_to_dict
+from repro.sim.parallel import run_points
+from repro.sim.results import RunResult
+from repro.util.errors import ConfigurationError
+
+
+class ShardTransportError(RuntimeError):
+    """A worker's transport failed: dead ssh pipe, unreadable result
+    document, or an external agent that never answered.  The manager
+    treats it exactly like a crashed worker: charge the host, retry the
+    shard elsewhere."""
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One dispatch: a shard plus everything needed to compute it."""
+
+    shard: Shard
+    configs: tuple[SimConfig, ...]
+    warmup: int
+    measure: int
+    #: campaign-unique dispatch ordinal (re-dispatches get fresh ids).
+    dispatch_id: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.configs) != len(self.shard.points):
+            raise ConfigurationError(
+                "shard/config mismatch:"
+                f" {len(self.shard.points)} points,"
+                f" {len(self.configs)} configs"
+            )
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON job document of :mod:`repro.farm.remote`."""
+        return {
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "points": {
+                str(idx): config_to_dict(config)
+                for idx, config in zip(self.shard.points, self.configs)
+            },
+        }
+
+
+@dataclass
+class ShardOutcome:
+    """What a worker produced for one dispatch."""
+
+    ok: bool
+    #: campaign point index -> result (success only).
+    results: dict[int, RunResult] = field(default_factory=dict)
+    error: str = ""
+
+    @classmethod
+    def from_wire(cls, payload: dict[str, Any]) -> "ShardOutcome":
+        """Parse a result document; malformed input raises
+        :class:`ShardTransportError`."""
+        try:
+            if not payload["ok"]:
+                return cls(ok=False, error=str(payload.get("error", "")))
+            results = {
+                int(idx): RunResult(**result)
+                for idx, result in payload["results"].items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardTransportError(
+                f"malformed result document: {exc!r}"
+            ) from exc
+        return cls(ok=True, results=results)
+
+
+class FarmWorker:
+    """Interface: named, blocking, one shard at a time."""
+
+    name: str
+
+    def run_shard(self, job: ShardJob) -> ShardOutcome:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (optional)."""
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class LocalPoolWorker(FarmWorker):
+    """This machine's process pool, presented as one farm host."""
+
+    def __init__(self, name: str = "local", *, workers: int = 1,
+                 point_timeout: float | None = None,
+                 retries: int = 0) -> None:
+        self.name = name
+        self.workers = workers
+        self.point_timeout = point_timeout
+        self.retries = retries
+
+    def run_shard(self, job: ShardJob) -> ShardOutcome:
+        # No cache and no internal retries beyond `retries`: the farm
+        # manager owns persistence, retry budgets and backoff.
+        results = run_points(
+            list(job.configs), job.warmup, job.measure,
+            workers=self.workers, cache=None, retries=self.retries,
+            timeout=self.point_timeout,
+        )
+        return ShardOutcome(ok=True, results=dict(
+            zip(job.shard.points, results)
+        ))
+
+
+class SSHHostWorker(FarmWorker):
+    """A remote host reached over ``ssh`` running the stdin/stdout
+    protocol of :mod:`repro.farm.remote`."""
+
+    def __init__(self, name: str, host: str = "", *,
+                 python: str = "python3",
+                 remote_pythonpath: str | None = None,
+                 command: list[str] | None = None,
+                 job_timeout: float | None = 600.0,
+                 connect_timeout: float = 10.0) -> None:
+        self.name = name
+        self.host = host or name
+        self.job_timeout = job_timeout
+        if command is not None:
+            self.command = list(command)
+        else:
+            remote = f"{python} -m repro.farm.remote"
+            if remote_pythonpath:
+                remote = f"PYTHONPATH={remote_pythonpath} {remote}"
+            self.command = [
+                "ssh", "-o", "BatchMode=yes",
+                "-o", f"ConnectTimeout={int(connect_timeout)}",
+                self.host, remote,
+            ]
+
+    def run_shard(self, job: ShardJob) -> ShardOutcome:
+        try:
+            proc = subprocess.run(
+                self.command,
+                input=json.dumps(job.to_wire()).encode("utf-8"),
+                capture_output=True,
+                timeout=self.job_timeout,
+            )
+        except subprocess.TimeoutExpired as exc:
+            raise ShardTransportError(
+                f"{self.host}: no answer within {self.job_timeout:g}s"
+            ) from exc
+        except OSError as exc:
+            raise ShardTransportError(f"{self.host}: {exc}") from exc
+        if proc.returncode != 0 and not proc.stdout.strip():
+            tail = proc.stderr.decode("utf-8", "replace")[-500:]
+            raise ShardTransportError(
+                f"{self.host}: exit {proc.returncode}: {tail}"
+            )
+        try:
+            payload = json.loads(proc.stdout.decode("utf-8"))
+        except ValueError as exc:
+            raise ShardTransportError(
+                f"{self.host}: unreadable result document"
+            ) from exc
+        return ShardOutcome.from_wire(payload)
+
+
+class ExternalWorker(FarmWorker):
+    """An externally provisioned machine speaking the job-dir protocol.
+
+    The manager writes ``<root>/jobs/<name>-<dispatch>.json`` and polls
+    for the matching file under ``<root>/results/``.  Whoever serves the
+    directory (``repro.farm.remote --serve``, a cron job, a human with a
+    laptop) is invisible to the farm — only answer latency matters.
+    """
+
+    def __init__(self, name: str, root: str | Path, *,
+                 job_timeout: float = 600.0,
+                 poll_interval: float = 0.05,
+                 clock=time.monotonic, sleep=time.sleep) -> None:
+        self.name = name
+        self.root = Path(root)
+        self.job_timeout = job_timeout
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._sleep = sleep
+
+    def run_shard(self, job: ShardJob) -> ShardOutcome:
+        jobs_dir = self.root / "jobs"
+        jobs_dir.mkdir(parents=True, exist_ok=True)
+        stem = f"{self.name}-{job.dispatch_id}.json"
+        job_path = jobs_dir / stem
+        tmp = job_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(job.to_wire()), "utf-8")
+        tmp.replace(job_path)
+        result_path = self.root / "results" / stem
+        deadline = self._clock() + self.job_timeout
+        while self._clock() < deadline:
+            if result_path.exists():
+                try:
+                    payload = json.loads(result_path.read_text("utf-8"))
+                except (OSError, ValueError):
+                    pass  # torn read is impossible post-rename; retry
+                else:
+                    return ShardOutcome.from_wire(payload)
+            self._sleep(self.poll_interval)
+        raise ShardTransportError(
+            f"{self.name}: no result for {stem}"
+            f" within {self.job_timeout:g}s"
+        )

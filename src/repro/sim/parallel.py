@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
@@ -32,6 +34,7 @@ from pathlib import Path
 import repro
 from repro.config import ExecutionConfig, SimConfig
 from repro.sim.results import RunResult
+from repro.util.backoff import BackoffPolicy
 from repro.util.errors import PointTimeoutError, SweepExecutionError
 from repro.util.progress import ProgressReporter
 
@@ -39,6 +42,14 @@ from repro.util.progress import ProgressReporter
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 PointFn = Callable[[SimConfig, int, int], RunResult]
+
+#: pause applied before every retry round/wave so a flapping worker is
+#: probed at a geometrically decreasing rate instead of being hammered;
+#: jitter draws are seeded, so retry timelines reproduce exactly.
+DEFAULT_BACKOFF = BackoffPolicy(base=0.1, factor=2.0, cap=5.0, jitter=0.5)
+
+#: module-level so tests can observe/neutralize the retry pauses.
+_sleep = time.sleep
 
 #: process-wide execution policy; the library default is the legacy
 #: behaviour (serial, no cache) so tests and benchmarks are unaffected.
@@ -140,9 +151,23 @@ class ResultCache:
             "result": result.to_dict(),
         }
         blob = json.dumps(payload, sort_keys=True, default=str, indent=1)
-        tmp = self.path_for(key).with_suffix(".tmp")
-        tmp.write_text(blob, "utf-8")
-        tmp.replace(self.path_for(key))
+        # Unique temp file per put: concurrent writers of the same key
+        # (racing farm twins, a resumed manager next to a live one) must
+        # each rename a fully written file, so readers see one complete
+        # entry or another — never an interleaved one.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
 
 def _timed(point_fn: PointFn, config: SimConfig, warmup: int,
@@ -170,6 +195,7 @@ def run_points(
     point_fn: PointFn | None = None,
     reporter: ProgressReporter | None = None,
     timeout: float | None = None,
+    backoff: BackoffPolicy | None = None,
 ) -> list[RunResult]:
     """Run every config's point, fanned across ``workers`` processes.
 
@@ -194,6 +220,8 @@ def run_points(
         point_fn = _default_point_fn()
     if reporter is None:
         reporter = ProgressReporter(total=len(configs), enabled=False)
+    if backoff is None:
+        backoff = DEFAULT_BACKOFF
 
     results: list[RunResult | None] = [None] * len(configs)
     keys: list[str | None] = [None] * len(configs)
@@ -220,12 +248,13 @@ def run_points(
         pass
     elif timeout is not None:
         _run_parallel_timed(point_fn, jobs, warmup, measure, workers, retries,
-                            record, failures, timeout)
+                            record, failures, timeout, backoff)
     elif workers <= 1 or len(jobs) == 1:
-        _run_serial(point_fn, jobs, warmup, measure, retries, record, failures)
+        _run_serial(point_fn, jobs, warmup, measure, retries, record, failures,
+                    backoff)
     else:
         _run_parallel(point_fn, jobs, warmup, measure, workers, retries,
-                      record, failures)
+                      record, failures, backoff)
 
     if failures:
         for _ in failures:
@@ -234,10 +263,12 @@ def run_points(
     return results  # type: ignore[return-value]
 
 
-def _run_serial(point_fn, jobs, warmup, measure, retries, record,
-                failures) -> None:
+def _run_serial(point_fn, jobs, warmup, measure, retries, record, failures,
+                backoff) -> None:
     for idx, config in jobs.items():
         for attempt in range(retries + 1):
+            if attempt > 0:
+                _sleep(backoff.delay(attempt, key=f"point{idx}"))
             try:
                 result, elapsed = _timed(point_fn, config, warmup, measure)
             except Exception as exc:
@@ -249,11 +280,23 @@ def _run_serial(point_fn, jobs, warmup, measure, retries, record,
 
 
 def _run_parallel(point_fn, jobs, warmup, measure, workers, retries, record,
-                  failures) -> None:
+                  failures, backoff) -> None:
     pending = dict(jobs)
     attempts = dict.fromkeys(jobs, 0)
+    round_no = 0
     while pending:
+        if round_no > 0:
+            # Every point still pending has failed at least once: back
+            # off before the retry round instead of hammering a flapping
+            # worker pool at full speed.
+            _sleep(backoff.delay(round_no, key="round"))
+        round_no += 1
         round_jobs = dict(pending)
+        # Points whose futures resolve through as_completed are charged
+        # there; the BrokenProcessPool handler below must charge only the
+        # points that never got a resolved future, or a pool death after
+        # partial progress double-charges the already-counted points.
+        charged: set[int] = set()
         try:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(round_jobs))
@@ -265,6 +308,7 @@ def _run_parallel(point_fn, jobs, warmup, measure, workers, retries, record,
                 for future in as_completed(futures):
                     idx = futures[future]
                     attempts[idx] += 1
+                    charged.add(idx)
                     exc = future.exception()
                     if exc is None:
                         result, elapsed = future.result()
@@ -276,15 +320,18 @@ def _run_parallel(point_fn, jobs, warmup, measure, workers, retries, record,
                     # else: left pending — retried with a fresh pool.
         except BrokenProcessPool as exc:
             # The pool itself died (e.g. a worker was killed) before all
-            # futures resolved; charge an attempt to what's left.
+            # futures resolved; charge an attempt to whatever was not
+            # already charged through its own resolved future this round.
             for idx in list(pending):
+                if idx in charged:
+                    continue
                 attempts[idx] += 1
                 if attempts[idx] > retries:
                     failures[idx] = (pending.pop(idx), exc)
 
 
 def _run_parallel_timed(point_fn, jobs, warmup, measure, workers, retries,
-                        record, failures, timeout) -> None:
+                        record, failures, timeout, backoff) -> None:
     """Wave-based execution with a wall-clock kill switch per point.
 
     Points run in waves of at most ``workers`` so every point in a wave
@@ -300,7 +347,14 @@ def _run_parallel_timed(point_fn, jobs, warmup, measure, workers, retries,
     attempts = dict.fromkeys(jobs, 0)
     wave_size = max(1, workers)
     while pending:
-        wave = dict(list(pending.items())[:wave_size])
+        # Fresh points go first so a retried point never delays work
+        # that has not had its first attempt yet; a wave made purely of
+        # retries waits out the backoff before redispatching.
+        ordered = sorted(pending, key=lambda idx: attempts[idx])
+        wave = {idx: pending[idx] for idx in ordered[:wave_size]}
+        wave_retry = min(attempts[idx] for idx in wave)
+        if wave_retry > 0:
+            _sleep(backoff.delay(wave_retry, key="wave"))
         pool = ProcessPoolExecutor(max_workers=len(wave))
         futures = {
             pool.submit(_timed, point_fn, config, warmup, measure): idx

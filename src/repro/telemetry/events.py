@@ -58,11 +58,34 @@ RESCUE_LEG = "rescue_leg"
 FAULT_APPLIED = "fault_applied"
 FAULT_REVOKED = "fault_revoked"
 
+# -- farm event kinds (campaign orchestration, not simulation) ----------
+# Recorded by :class:`repro.farm.manager.FarmManager` with millisecond
+# timestamps relative to campaign start instead of engine cycles; a farm
+# tracer is never attached to an engine, so the two time bases never mix
+# inside one ring buffer.
+FARM_DISPATCH = "farm_dispatch"
+FARM_HEARTBEAT = "farm_heartbeat"
+FARM_SHARD_DONE = "farm_shard_done"
+FARM_SHARD_FAILED = "farm_shard_failed"
+FARM_BACKOFF = "farm_backoff"
+FARM_SUSPECT = "farm_suspect"
+FARM_QUARANTINE = "farm_quarantine"
+FARM_PROBATION = "farm_probation"
+FARM_REDISPATCH = "farm_redispatch"
+FARM_MERGE = "farm_merge"
+
+FARM_EVENT_KINDS = (
+    FARM_DISPATCH, FARM_HEARTBEAT, FARM_SHARD_DONE, FARM_SHARD_FAILED,
+    FARM_BACKOFF, FARM_SUSPECT, FARM_QUARANTINE, FARM_PROBATION,
+    FARM_REDISPATCH, FARM_MERGE,
+)
+
 EVENT_KINDS = (
     CREATED, ADMITTED, INJECTED, BLOCKED, UNBLOCKED, VC_GRANT, DELIVERED,
     CONSUMED, DETECT, PROBE_SEND, PROBE_FORWARD, PROBE_RETURN, PROBE_DROP,
     DEFLECT, TOKEN_HOP, TOKEN_CAPTURE, TOKEN_RELEASE,
     TOKEN_REGEN, RESCUE_LEG, FAULT_APPLIED, FAULT_REVOKED,
+    *FARM_EVENT_KINDS,
 )
 
 #: default ring capacity: roomy enough for any smoke run, bounded for
@@ -312,6 +335,19 @@ class Tracer:
             "mid": self._mid(msg), "src_router": src_router,
             "dst_router": dst_router, "phase": phase,
         })
+
+    # ------------------------------------------------------------------
+    # Farm hooks (campaign orchestration; ``now`` is a millisecond
+    # offset from campaign start, not an engine cycle — farm tracers are
+    # standalone and never attached to an engine)
+    # ------------------------------------------------------------------
+    def farm_event(self, kind: str, now: int, **payload: Any) -> None:
+        """Record one farm orchestration event (dispatch, health, merge)."""
+        if kind not in FARM_EVENT_KINDS:
+            raise ConfigurationError(
+                f"farm event kind {kind!r} not in {FARM_EVENT_KINDS}"
+            )
+        self._record(int(now), kind, payload)
 
     # ------------------------------------------------------------------
     # Fault hooks

@@ -28,6 +28,7 @@ from repro.telemetry import events as ev
 PID_MESSAGES = 1
 PID_SCHEME = 2
 PID_METRICS = 3
+PID_FARM = 4
 
 #: threads inside the scheme process.
 TID_DETECTION = 1
@@ -55,6 +56,11 @@ _INSTANT_TRACKS = {
 #: lifecycle milestones rendered as instants nested inside the span.
 _SPAN_MILESTONES = (ev.ADMITTED, ev.INJECTED, ev.DELIVERED)
 
+#: campaign-level farm events rendered on the farm process's thread 0;
+#: host-attributed events get one thread per host (assigned on first
+#: sight) so each machine reads as its own timeline row.
+_FARM_CAMPAIGN_KINDS = (ev.FARM_MERGE, ev.FARM_BACKOFF)
+
 
 def _meta(pid: int, name: str, tid: int | None = None) -> dict[str, Any]:
     out: dict[str, Any] = {
@@ -80,6 +86,27 @@ def to_perfetto(tracer) -> dict[str, Any]:
     ]
     open_spans: set[int] = set()
     open_blocks: set[int] = set()
+    # Farm track state: the process meta is added lazily so engine-only
+    # traces keep their exact historical layout; hosts become threads in
+    # order of first appearance, each shard dispatch->completion pairs
+    # into an "X" span on its host's row.
+    farm_tids: dict[str, int] = {}
+    open_shards: dict[tuple[str | None, Any], int] = {}
+
+    def farm_tid(host: str | None) -> int:
+        if host is None:
+            host = "campaign"
+        tid = farm_tids.get(host)
+        if tid is None:
+            if not farm_tids:
+                out.append(_meta(PID_FARM, "farm"))
+                out.append(_meta(PID_FARM, "campaign", 0))
+            if host == "campaign":
+                tid = farm_tids[host] = 0
+            else:
+                tid = farm_tids[host] = max(farm_tids.values(), default=0) + 1
+                out.append(_meta(PID_FARM, host, tid))
+        return tid
 
     def begin_span(mid: int, ts: int) -> None:
         open_spans.add(mid)
@@ -132,6 +159,25 @@ def to_perfetto(tracer) -> dict[str, Any]:
             out.append({
                 "name": name, "ph": "i", "ts": cycle,
                 "pid": PID_SCHEME, "tid": tid, "s": "t",
+                "args": dict(payload),
+            })
+        elif kind in ev.FARM_EVENT_KINDS:
+            host = payload.get("host")
+            tid = farm_tid(None if kind in _FARM_CAMPAIGN_KINDS else host)
+            shard = payload.get("shard")
+            if kind in (ev.FARM_DISPATCH, ev.FARM_REDISPATCH):
+                open_shards[(host, shard)] = cycle
+            elif kind in (ev.FARM_SHARD_DONE, ev.FARM_SHARD_FAILED):
+                start = open_shards.pop((host, shard), None)
+                if start is not None:
+                    out.append({
+                        "name": f"shard {shard}", "cat": "farm", "ph": "X",
+                        "ts": start, "dur": max(0, cycle - start),
+                        "pid": PID_FARM, "tid": tid, "args": dict(payload),
+                    })
+            out.append({
+                "name": kind, "ph": "i", "ts": cycle,
+                "pid": PID_FARM, "tid": tid, "s": "t",
                 "args": dict(payload),
             })
 

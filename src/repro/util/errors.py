@@ -87,10 +87,16 @@ class SweepExecutionError(RuntimeError):
     point.  ``failures`` maps the failed point's index in the submitted
     batch to ``(config, exception)``; exceptions carrying a liveness
     dump are summarized inline (the full dump stays on the exception).
+
+    Farm campaigns (:mod:`repro.farm`) additionally attach
+    ``attribution``: a per-host summary (``host -> {"state", "shards_ok",
+    "shards_failed", "last_error"}``) so a distributed failure names the
+    machines that caused it, not just the points that were lost.
     """
 
-    def __init__(self, failures: dict) -> None:
+    def __init__(self, failures: dict, attribution: dict | None = None) -> None:
         self.failures = failures
+        self.attribution = dict(attribution or {})
         lines = [f"{len(failures)} sweep point(s) failed after retries:"]
         for idx in sorted(failures):
             config, exc = failures[idx]
@@ -107,4 +113,19 @@ class SweepExecutionError(RuntimeError):
                     f" stalled_nis={len(dump.get('interfaces', {}))}"
                     " (full dump on .failures[idx][1].dump)"
                 )
+        if self.attribution:
+            lines.append("per-host attribution:")
+            for host in sorted(self.attribution):
+                info = self.attribution[host]
+                line = (
+                    f"  {host}: state={info.get('state')}"
+                    f" ok={info.get('shards_ok', 0)}"
+                    f" failed={info.get('shards_failed', 0)}"
+                )
+                if info.get("last_error"):
+                    line += f" last_error={info['last_error']!r}"
+                lines.append(line)
         super().__init__("\n".join(lines))
+
+    def __reduce__(self):
+        return (type(self), (self.failures, self.attribution))

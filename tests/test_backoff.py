@@ -1,0 +1,60 @@
+"""Tests for repro.util.backoff: the shared retry delay policy."""
+
+import pytest
+
+from repro.util.backoff import BackoffPolicy
+from repro.util.errors import ConfigurationError
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=100.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(5) == pytest.approx(1.6)
+
+    def test_cap_bounds_the_delay(self):
+        policy = BackoffPolicy(base=1.0, factor=10.0, cap=5.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(1.0)
+        assert policy.delay(2) == pytest.approx(5.0)
+        assert policy.delay(50) == pytest.approx(5.0)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = BackoffPolicy(base=1.0, factor=1.0, cap=10.0,
+                               jitter=0.5, seed=7)
+        for attempt in range(1, 6):
+            d = policy.delay(attempt, key="k")
+            assert 1.0 <= d <= 1.5
+            # same (seed, key, attempt) -> same delay, every time
+            assert d == policy.delay(attempt, key="k")
+
+    def test_jitter_varies_by_key_seed_and_attempt(self):
+        policy = BackoffPolicy(base=1.0, factor=1.0, cap=10.0, jitter=0.5)
+        other_seed = BackoffPolicy(base=1.0, factor=1.0, cap=10.0,
+                                   jitter=0.5, seed=99)
+        assert policy.delay(1, key="a") != policy.delay(1, key="b")
+        assert policy.delay(1, key="a") != policy.delay(2, key="a")
+        assert policy.delay(1, key="a") != other_seed.delay(1, key="a")
+
+    def test_attempts_are_one_based(self):
+        policy = BackoffPolicy()
+        with pytest.raises(ConfigurationError):
+            policy.delay(0)
+        with pytest.raises(ConfigurationError):
+            policy.delay(-1)
+
+    def test_zero_base_means_no_sleep(self):
+        policy = BackoffPolicy(base=0.0, jitter=0.5)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(7, key="x") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(base=-1.0)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(cap=-0.1)
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(jitter=-0.5)

@@ -1,0 +1,128 @@
+"""The result cache as a coordination substrate.
+
+The farm leans on two properties of ``ResultCache``: concurrent puts of
+the same key settle on one complete entry (last write wins, no torn
+reads), and a corrupt or truncated entry reads as a miss and is repaired
+by the next put.  These tests hammer both from multiple threads — the
+same interleavings a speculative twin or a resumed manager produces.
+"""
+
+import json
+import threading
+from dataclasses import replace
+
+from repro.config import SimConfig
+from repro.sim.parallel import ResultCache, point_key
+from repro.sim.sweep import run_point
+
+WARMUP = 100
+MEASURE = 200
+
+
+def _fixture(tmp_path):
+    config = SimConfig(dims=(4, 4), load=0.004)
+    cache = ResultCache(tmp_path / "cache")
+    key = point_key(config, WARMUP, MEASURE)
+    result = run_point(config, WARMUP, MEASURE)
+    return config, cache, key, result
+
+
+class TestConcurrentPuts:
+    def test_racing_identical_puts_converge(self, tmp_path):
+        """The farm's first-completion-wins rule: twins write identical
+        content, so whichever rename lands last changes nothing."""
+        config, cache, key, result = _fixture(tmp_path)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(50):
+                    cache.put(key, config, WARMUP, MEASURE, result)
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.get(key) == result
+
+    def test_no_torn_reads_under_divergent_puts(self, tmp_path):
+        """Readers racing two writers of *different* payloads must see
+        one of the two complete entries, never an interleaving."""
+        config, cache, key, result = _fixture(tmp_path)
+        other = replace(result, messages_delivered=result.messages_delivered + 1)
+        cache.put(key, config, WARMUP, MEASURE, result)
+        stop = threading.Event()
+        bad = []
+
+        def writer(payload):
+            while not stop.is_set():
+                cache.put(key, config, WARMUP, MEASURE, payload)
+
+        def reader():
+            while not stop.is_set():
+                seen = cache.get(key)
+                if seen not in (result, other):
+                    bad.append(seen)
+
+        threads = [
+            threading.Thread(target=writer, args=(result,)),
+            threading.Thread(target=writer, args=(other,)),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(1.0, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert bad == [], f"torn or invalid reads: {bad[:3]}"
+        assert cache.get(key) in (result, other)
+
+    def test_no_stray_temp_files_after_racing_puts(self, tmp_path):
+        config, cache, key, result = _fixture(tmp_path)
+        threads = [
+            threading.Thread(
+                target=lambda: [cache.put(key, config, WARMUP, MEASURE,
+                                          result) for _ in range(20)]
+            )
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        leftovers = list(cache.root.glob("*.tmp")) + list(
+            cache.root.glob(".*.tmp")
+        )
+        assert leftovers == []
+
+
+class TestCorruptEntries:
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        config, cache, key, result = _fixture(tmp_path)
+        cache.put(key, config, WARMUP, MEASURE, result)
+        blob = cache.path_for(key).read_text("utf-8")
+        cache.path_for(key).write_text(blob[: len(blob) // 2], "utf-8")
+        assert cache.get(key) is None
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        config, cache, key, result = _fixture(tmp_path)
+        cache.put(key, config, WARMUP, MEASURE, result)
+        cache.path_for(key).write_text('{"result": "not a dict"}', "utf-8")
+        assert cache.get(key) is None
+
+    def test_next_put_repairs_a_corrupt_entry(self, tmp_path):
+        config, cache, key, result = _fixture(tmp_path)
+        cache.put(key, config, WARMUP, MEASURE, result)
+        cache.path_for(key).write_text("{torn", "utf-8")
+        assert cache.get(key) is None
+        cache.put(key, config, WARMUP, MEASURE, result)
+        assert cache.get(key) == result
+        payload = json.loads(cache.path_for(key).read_text("utf-8"))
+        assert payload["key"] == key

@@ -29,7 +29,7 @@ class TestWorkflow:
         assert set(workflow["jobs"]) == {
             "lint", "typecheck", "test", "smoke-benchmark",
             "engine-benchmark", "engine-speedup", "fault-smoke",
-            "backend-equivalence", "detection-smoke",
+            "backend-equivalence", "detection-smoke", "farm-smoke",
         }
 
     def test_concurrency_cancels_superseded_runs(self, workflow):
@@ -102,6 +102,21 @@ class TestWorkflow:
         # ground-truth checker armed alongside the probes.
         assert "--detector cmh" in runs
         assert "--cwg-interval" in runs
+        for step in steps:
+            if step.get("run") and "repro" in step["run"]:
+                assert step["env"]["PYTHONPATH"] == "src"
+
+    def test_farm_smoke_runs_chaos_suite_and_cli_campaign(self, workflow):
+        steps = workflow["jobs"]["farm-smoke"]["steps"]
+        runs = " ".join(s.get("run") or "" for s in steps)
+        # the robustness suite carries the bit-identical and quarantine
+        # assertions; the CLI leg proves the operator path end to end
+        assert "tests/test_farm.py" in runs
+        assert "tests/test_cache_concurrency.py" in runs
+        assert "farm plan" in runs and "farm run" in runs
+        assert "--chaos crash:" in runs and "--chaos hang:" in runs
+        assert "--hang-timeout" in runs
+        assert "farm resume" in runs
         for step in steps:
             if step.get("run") and "repro" in step["run"]:
                 assert step["env"]["PYTHONPATH"] == "src"

@@ -7,6 +7,8 @@ import os
 import pickle
 import tempfile
 import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -272,6 +274,112 @@ class TestPointTimeout:
         with pytest.raises(ConfigurationError):
             ExecutionConfig(point_timeout=0)
         assert ExecutionConfig(point_timeout=1.5).point_timeout == 1.5
+
+
+class _DyingPool:
+    """A pool whose futures all resolve as BrokenProcessPool and whose
+    context exit re-raises it — the partial-progress pool death: some
+    futures were charged through ``as_completed`` before the executor
+    itself gave up."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def submit(self, fn, *args):
+        future = Future()
+        future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+    def __exit__(self, *exc_info):
+        raise BrokenProcessPool("pool torn down")
+
+
+class TestBrokenPoolAccounting:
+    def test_pool_death_charges_each_point_once(self, monkeypatch):
+        """Double-charge regression: a BrokenProcessPool escaping after
+        some futures already resolved through as_completed must not
+        charge those points a second attempt — with retries=1 the next
+        round is still theirs."""
+        real_pool = parallel.ProcessPoolExecutor
+        pools = []
+
+        def factory(max_workers=None):
+            pools.append(max_workers)
+            if len(pools) == 1:
+                return _DyingPool(max_workers)
+            return real_pool(max_workers=max_workers)
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", factory)
+        monkeypatch.setattr(parallel, "_sleep", lambda seconds: None)
+        results = run_points(tiny_configs(), WARMUP, MEASURE, workers=3,
+                             retries=1)
+        # the retry round ran on a real pool and succeeded
+        assert len(pools) == 2
+        assert results == run_points(tiny_configs(), WARMUP, MEASURE)
+
+    def test_pool_death_past_the_budget_reports_failures(self, monkeypatch):
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", _DyingPool)
+        monkeypatch.setattr(parallel, "_sleep", lambda seconds: None)
+        with pytest.raises(SweepExecutionError) as excinfo:
+            run_points(tiny_configs(), WARMUP, MEASURE, workers=3, retries=1)
+        assert len(excinfo.value.failures) == len(LOADS)
+        assert isinstance(excinfo.value.failures[0][1], BrokenProcessPool)
+
+
+class TestRetryBackoff:
+    def _delays(self, monkeypatch):
+        delays = []
+        monkeypatch.setattr(parallel, "_sleep", delays.append)
+        return delays
+
+    def test_serial_retry_waits_out_the_policy(self, monkeypatch, tmp_path):
+        delays = self._delays(monkeypatch)
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        flaky = functools.partial(_flaky_point, str(marker_dir))
+        run_points(tiny_configs(), WARMUP, MEASURE, workers=1,
+                   point_fn=flaky, retries=1)
+        expected = [parallel.DEFAULT_BACKOFF.delay(1, key=f"point{idx}")
+                    for idx in range(len(LOADS))]
+        assert delays == expected
+
+    def test_parallel_retry_round_backs_off_once(self, monkeypatch, tmp_path):
+        delays = self._delays(monkeypatch)
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        flaky = functools.partial(_flaky_point, str(marker_dir))
+        run_points(tiny_configs(), WARMUP, MEASURE, workers=3,
+                   point_fn=flaky, retries=1)
+        assert delays == [parallel.DEFAULT_BACKOFF.delay(1, key="round")]
+
+    def test_timed_waves_back_off_between_retries(self, monkeypatch, tmp_path):
+        delays = self._delays(monkeypatch)
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        flaky = functools.partial(_flaky_point, str(marker_dir))
+        run_points(tiny_configs(), WARMUP, MEASURE, workers=3,
+                   point_fn=flaky, retries=1, timeout=60.0)
+        assert delays == [parallel.DEFAULT_BACKOFF.delay(1, key="wave")]
+
+    def test_custom_policy_is_honoured(self, monkeypatch, tmp_path):
+        from repro.util.backoff import BackoffPolicy
+
+        delays = self._delays(monkeypatch)
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        flaky = functools.partial(_flaky_point, str(marker_dir))
+        quiet = BackoffPolicy(base=0.25, factor=2.0, cap=1.0, jitter=0.0)
+        run_points(tiny_configs(), WARMUP, MEASURE, workers=1,
+                   point_fn=flaky, retries=1, backoff=quiet)
+        assert delays == [0.25] * len(LOADS)
+
+    def test_successful_run_never_sleeps(self, monkeypatch):
+        delays = self._delays(monkeypatch)
+        run_points(tiny_configs(), WARMUP, MEASURE, workers=1)
+        assert delays == []
 
 
 def _picky_point(config, warmup, measure):
