@@ -1,0 +1,26 @@
+"""Static analyses over (topology, routing) pairs.
+
+:mod:`repro.analysis.cdg` extracts the channel-dependency graph a
+routing function can generate on a topology and certifies or refutes
+deadlock freedom *before* any simulation runs.
+"""
+
+from repro.analysis.cdg import (
+    BuiltinPair,
+    CdgReport,
+    builtin_pairs,
+    check,
+    check_all,
+    check_pair,
+    gate_failures,
+)
+
+__all__ = [
+    "BuiltinPair",
+    "CdgReport",
+    "builtin_pairs",
+    "check",
+    "check_all",
+    "check_pair",
+    "gate_failures",
+]

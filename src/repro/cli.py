@@ -7,6 +7,11 @@ run
 sweep
     A load sweep for one (scheme, pattern, VCs) cell; prints the
     Burton-Normal-Form curve and optionally writes JSON.
+cdg-check
+    Static deadlock-freedom certification: extract the channel
+    dependency graph of a (topology, routing) pair and print a
+    CERTIFIED witness ordering or the REFUTED cycle.  With no
+    arguments it audits every built-in pair (the CI gate).
 experiments
     Regenerate the paper's tables/figures (thin wrapper around
     ``repro.experiments.runner``).
@@ -26,6 +31,7 @@ import sys
 
 from repro.config import ExecutionConfig, SimConfig
 from repro.faults import parse_fault
+from repro.network.topology import TOPOLOGY_KINDS
 from repro.sim.analysis import format_breakdown
 from repro.sim.engine import build_engine
 from repro.sim.invariants import format_dump
@@ -43,8 +49,15 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scheme", default="PR", choices=["SA", "DR", "PR", "NONE"])
     p.add_argument("--pattern", default="PAT721")
     p.add_argument("--vcs", type=int, default=4, dest="num_vcs")
+    p.add_argument("--topology", default="torus",
+                   choices=list(TOPOLOGY_KINDS),
+                   help="network substrate ('file' loads a JSON graph"
+                   " from --topology-file)")
+    p.add_argument("--topology-file", metavar="PATH",
+                   help="JSON graph description for --topology=file")
     p.add_argument("--dims", default="8x8",
-                   help="torus radices, e.g. 8x8 or 4x4x4")
+                   help="grid radices, e.g. 8x8 or 4x4x4 (torus/mesh2d;"
+                   " fullmesh uses the product as its router count)")
     p.add_argument("--bristling", type=int, default=1)
     p.add_argument("--queue-mode", default="auto",
                    choices=["auto", "shared", "per-net", "per-type"])
@@ -117,6 +130,8 @@ def _execution(args) -> ExecutionConfig:
 def _config(args, load: float) -> SimConfig:
     dims = tuple(int(k) for k in args.dims.lower().split("x"))
     return SimConfig(
+        topology=args.topology,
+        topology_file=args.topology_file,
         dims=dims,
         bristling=args.bristling,
         scheme=args.scheme,
@@ -387,6 +402,77 @@ def cmd_farm_status(args) -> int:
     return 0
 
 
+def _cdg_adhoc_report(args):
+    """Certify one ad-hoc (--topology, --routing) pair."""
+    from repro.analysis import check
+    from repro.network import (
+        build_topology,
+        dimension_order_routing,
+        duato_routing,
+        full_mesh_routing,
+        partitioned_vc_map,
+        tfar_vc_map,
+        true_fully_adaptive_routing,
+    )
+
+    dims = tuple(int(k) for k in args.dims.lower().split("x"))
+    topology = build_topology(
+        args.topology, dims=dims, bristling=args.bristling,
+        file=args.topology_file,
+    )
+    if args.routing == "dor":
+        routing = dimension_order_routing(
+            topology, partitioned_vc_map(args.num_vcs, 1))
+    elif args.routing == "duato":
+        routing = duato_routing(
+            topology, partitioned_vc_map(args.num_vcs, 1))
+    elif args.routing == "tfar":
+        routing = true_fully_adaptive_routing(
+            topology, tfar_vc_map(args.num_vcs))
+    else:  # cano: VC-free full-mesh direct routing
+        routing = full_mesh_routing(topology)
+    return check(topology, routing, name=f"{args.topology}-{args.routing}")
+
+
+def cmd_cdg_check(args) -> int:
+    from repro.analysis import builtin_pairs, check_pair, gate_failures
+
+    if args.list:
+        for pair in builtin_pairs():
+            print(f"{pair.name:26s} {pair.expected:9s} {pair.description}")
+        return 0
+    if args.routing is not None:
+        reports = [_cdg_adhoc_report(args)]
+        # Ad-hoc pairs carry no registry annotation; a refutation simply
+        # means "this pair can deadlock" and the exit code says so.
+        problems = [f"{r.name}: {r.verdict}"
+                    for r in reports if not r.certified]
+    else:
+        registry = {pair.name: pair for pair in builtin_pairs()}
+        names = args.pairs or list(registry)
+        unknown = [n for n in names if n not in registry]
+        if unknown:
+            print(f"unknown pair(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"known: {', '.join(registry)}", file=sys.stderr)
+            return 2
+        reports = [check_pair(registry[name]) for name in names]
+        problems = gate_failures(reports)
+    for report in reports:
+        print(report.format())
+        print()
+    certified = sum(1 for r in reports if r.certified)
+    print(f"{certified}/{len(reports)} certified,"
+          f" {len(reports) - certified} refuted,"
+          f" {len(problems)} gate failure(s)")
+    for problem in problems:
+        print(f"  GATE: {problem}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if problems else 0
+
+
 def cmd_trace(args) -> int:
     from repro.traffic.splash import generate_app_trace
     from repro.traffic.trace import write_trace
@@ -489,6 +575,28 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("dir", help="campaign directory")
     fp.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     fp.set_defaults(func=cmd_farm_status)
+
+    p = sub.add_parser(
+        "cdg-check",
+        help="statically certify/refute deadlock freedom (CDG analysis)")
+    p.add_argument("pairs", nargs="*", metavar="PAIR",
+                   help="built-in pair names (default: all; see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the built-in (topology, routing) pairs")
+    p.add_argument("--routing", choices=["dor", "duato", "tfar", "cano"],
+                   help="check one ad-hoc pair instead of the registry")
+    p.add_argument("--topology", default="torus",
+                   choices=list(TOPOLOGY_KINDS),
+                   help="ad-hoc pair's topology (with --routing)")
+    p.add_argument("--topology-file", metavar="PATH",
+                   help="JSON graph description for --topology=file")
+    p.add_argument("--dims", default="4x4",
+                   help="ad-hoc pair's radices (default: %(default)s)")
+    p.add_argument("--bristling", type=int, default=1)
+    p.add_argument("--vcs", type=int, default=4, dest="num_vcs")
+    p.add_argument("--json", metavar="PATH",
+                   help="write every report as a JSON artifact")
+    p.set_defaults(func=cmd_cdg_check)
 
     p = sub.add_parser("trace", help="generate a synthetic app trace")
     p.add_argument("app", choices=["fft", "lu", "radix", "water"])

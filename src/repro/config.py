@@ -16,6 +16,7 @@ from repro.faults.models import FaultSpec
 from repro.util.errors import ConfigurationError
 
 _VALID_SCHEMES = ("SA", "DR", "PR", "NONE")
+_VALID_TOPOLOGIES = ("torus", "mesh2d", "fullmesh", "irregular", "file")
 _VALID_QUEUE_MODES = ("auto", "shared", "per-net", "per-type")
 _VALID_BACKENDS = ("reference", "vector")
 _VALID_DETECTORS = ("endpoint", "cmh", "timeout")
@@ -26,6 +27,16 @@ class SimConfig:
     """All parameters of a single simulation run."""
 
     # --- network (Table 2) ---
+    #: network shape: "torus" (the paper's k-ary n-cube), "mesh2d" (open
+    #: mesh, XY escape without datelines), "fullmesh" (direct single-hop
+    #: links, Cano-style routing), "irregular" (the built-in 9-router
+    #: example graph) or "file" (JSON graph named by ``topology_file``).
+    #: See :func:`repro.network.topology.build_topology`.
+    topology: str = "torus"
+    #: JSON topology description for ``topology="file"``.
+    topology_file: str | None = None
+    #: radix per dimension for grid topologies; for "fullmesh" the
+    #: router count is ``prod(dims)``; ignored by "irregular"/"file".
     dims: tuple[int, ...] = (8, 8)
     bristling: int = 1
     num_vcs: int = 4
@@ -105,6 +116,14 @@ class SimConfig:
     watchdog_timeout: int = 0
 
     def __post_init__(self) -> None:
+        if self.topology not in _VALID_TOPOLOGIES:
+            raise ConfigurationError(
+                f"topology {self.topology!r} not in {_VALID_TOPOLOGIES}"
+            )
+        if self.topology == "file" and not self.topology_file:
+            raise ConfigurationError(
+                "topology 'file' needs topology_file to name a JSON graph"
+            )
         if self.scheme not in _VALID_SCHEMES:
             raise ConfigurationError(
                 f"scheme {self.scheme!r} not in {_VALID_SCHEMES}"

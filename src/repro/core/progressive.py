@@ -82,7 +82,7 @@ class RecoveryLane:
     def start(self, source, src_router: int, dst_router: int, msg: Message) -> None:
         if self.active:  # pragma: no cover - guarded by single token
             raise SimulationError("recovery lane already in use")
-        path = self.topology.dor_path(src_router, dst_router)
+        path = self.topology.route_path(src_router, dst_router)
         # One DB slot per router visited (source router included).
         self.slots = [None] * (len(path) + 1)
         self.source = source

@@ -28,7 +28,7 @@ from repro.network.routing import (
     tfar_vc_map,
     true_fully_adaptive_routing,
 )
-from repro.network.topology import Torus
+from repro.network.topology import Topology
 from repro.protocol.chains import Protocol
 from repro.protocol.message import NetClass
 from repro.util.errors import ConfigurationError
@@ -49,7 +49,7 @@ class Scheme(ABC):
     def __init__(
         self,
         config,
-        topology: Torus,
+        topology: Topology,
         protocol: Protocol,
         types_used: tuple[str, ...],
         couplings: set[tuple[str, str]],
@@ -392,7 +392,7 @@ SCHEMES = {
 
 def build_scheme(
     config,
-    topology: Torus,
+    topology: Topology,
     protocol: Protocol,
     types_used: tuple[str, ...],
     couplings: set[tuple[str, str]],

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.network.topology import Torus
+from repro.network.topology import Topology
 from repro.util.errors import SimulationError
 
 
@@ -26,7 +26,7 @@ class Stop:
     ident: int  # router id or node id
 
 
-def default_ring(topology: Torus) -> list[Stop]:
+def default_ring(topology: Topology) -> list[Stop]:
     """Router order with each router's NIs interleaved after it.
 
     The paper notes the token path is logical and configurable; this
@@ -41,7 +41,7 @@ def default_ring(topology: Torus) -> list[Stop]:
     return stops
 
 
-def routers_first_ring(topology: Torus) -> list[Stop]:
+def routers_first_ring(topology: Topology) -> list[Stop]:
     """Alternative logical ring: every router, then every NI."""
     stops = [Stop("router", r) for r in range(topology.num_routers)]
     stops += [Stop("ni", n) for n in range(topology.num_nodes)]
@@ -54,7 +54,7 @@ RING_BUILDERS = {
 }
 
 
-def build_ring(topology: Torus, order: str = "interleaved") -> list[Stop]:
+def build_ring(topology: Topology, order: str = "interleaved") -> list[Stop]:
     """Ring of the named order (see ``SimConfig.token_ring``)."""
     return RING_BUILDERS[order](topology)
 

@@ -29,6 +29,7 @@ import traceback
 from repro.config import ExecutionConfig
 from repro.experiments import (
     ablations,
+    cdg_lab,
     detection_lab,
     faults,
     fig6_load_rates,
@@ -39,6 +40,7 @@ from repro.experiments import (
     table1_responses,
     table3_distributions,
     telemetry,
+    topologies,
     trace_deadlocks,
 )
 from repro.farm import parse_hosts
@@ -58,6 +60,8 @@ EXPERIMENTS = {
     "faults": faults,
     "telemetry": telemetry,
     "detection_lab": detection_lab,
+    "topologies": topologies,
+    "cdg_lab": cdg_lab,
 }
 
 

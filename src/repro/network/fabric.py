@@ -22,8 +22,8 @@ timeout detection consumes.
 from __future__ import annotations
 
 from repro.network.channel import EjectionPort, InjectionChannel, VirtualChannel
-from repro.network.routing import RoutingFunction
-from repro.network.topology import Torus
+from repro.network.routing import Routing
+from repro.network.topology import Topology
 from repro.protocol.message import Message
 from repro.util.errors import SimulationError
 
@@ -33,10 +33,10 @@ class Fabric:
 
     def __init__(
         self,
-        topology: Torus,
+        topology: Topology,
         num_vcs: int,
         flit_buffer_depth: int,
-        routing: RoutingFunction,
+        routing: Routing,
     ) -> None:
         self.topology = topology
         self.num_vcs = num_vcs

@@ -2,28 +2,36 @@
 
 The vector backend (:mod:`repro.sim.vector`) keeps all fabric state in
 flat numpy arrays and advances it with a compiled kernel; this module is
-the bridge from the object world.  :class:`TopologySoA` flattens the
-torus — link endpoints, dimensions, dateline flags, node-to-router map —
-and :func:`static_route_row` reproduces
-:meth:`repro.network.routing.RoutingFunction._static_candidates` in
-terms of *virtual-channel ids* (``lid * num_vcs + index``) instead of
-``VirtualChannel`` objects, so the kernel's allocation scan can consult
-a precomputed candidate table and still make exactly the choices the
-reference engine makes.
+the bridge from the object world.  :class:`TopologySoA` flattens any
+:class:`~repro.network.topology.Topology` — link endpoints, dimensions,
+dateline flags, node-to-router map — and :func:`build_route_table`
+precomputes every routing-memo row in terms of *virtual-channel ids*
+(``lid * num_vcs + index``) instead of ``VirtualChannel`` objects, so
+the kernel's allocation scan can consult a candidate table and still
+make exactly the choices the reference engine makes.  Row contents come
+from the routing function's ``static_candidate_ids`` protocol method,
+so grid (:class:`~repro.network.routing.RoutingFunction`) and
+table-driven (:class:`~repro.network.routing.TableRouting`) routing
+export identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.network.routing import VcMap
-from repro.network.topology import Torus
+from repro.network.routing import Routing, RoutingFunction
+from repro.network.topology import Topology
 
 
 class TopologySoA:
-    """Flat array view of a :class:`~repro.network.topology.Torus`."""
+    """Flat array view of a :class:`~repro.network.topology.Topology`.
 
-    def __init__(self, topology: Torus, num_vcs: int) -> None:
+    ``vc_dim`` / ``vc_dateline`` carry the dateline machinery; for
+    topologies without wrap links they are all zero and the kernel's
+    crossing mask degenerates to a constant 0.
+    """
+
+    def __init__(self, topology: Topology, num_vcs: int) -> None:
         self.topology = topology
         self.num_vcs = num_vcs
         links = topology.links
@@ -53,24 +61,37 @@ class TopologySoA:
 
 
 def build_route_table(
-    topology: Torus,
-    vc_map: VcMap,
-    adaptive: bool,
+    topology: Topology,
+    routing: Routing,
     num_vcs: int,
     stride: int,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Every routing-memo row, precomputed (``(rk_idx, rows)``).
 
-    Equivalent to calling :func:`static_route_row` for every reachable
-    ``(router, dst_router, vc_class, crossed_mask)`` key, but the
+    Equivalent to calling ``routing.static_candidate_ids`` for every
+    reachable ``(router, dst_router, vc_class, crossed_mask)`` key.
+    Filling the table at fabric construction removes the route-miss
+    suspensions from the kernel's allocation phase, which otherwise
+    dominate the first tens of thousands of cycles (new keys keep
+    appearing as packets reach fresh (position, destination, dateline)
+    combinations).
+
+    For the grid :class:`~repro.network.routing.RoutingFunction` the
     per-(router, destination) work — productive directions, output
     links — is done once and shared across the class and mask axes
-    (only the escape choice depends on them).  Filling the table at
-    fabric construction removes the route-miss suspensions from the
-    kernel's allocation phase, which otherwise dominate the first tens
-    of thousands of cycles (new keys keep appearing as packets reach
-    fresh (position, destination, dateline) combinations).
+    (only the escape choice depends on them).  Table routing has no
+    dateline machinery, so one row is shared across the whole mask axis.
     """
+    if isinstance(routing, RoutingFunction):
+        return _build_grid_route_table(topology, routing, num_vcs, stride)
+    return _build_table_route_table(topology, routing, stride)
+
+
+def _build_grid_route_table(
+    topology, routing: RoutingFunction, num_vcs: int, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    vc_map = routing.vc_map
+    adaptive = routing.adaptive
     R = topology.num_routers
     ndim = topology.ndim
     vcls = vc_map.num_classes
@@ -118,38 +139,33 @@ def build_route_table(
     return rk_idx, rows.reshape(-1)
 
 
-def static_route_row(
-    topology: Torus,
-    vc_map: VcMap,
-    adaptive: bool,
-    num_vcs: int,
-    router: int,
-    dst_router: int,
-    vc_class: int,
-    crossed_mask: int,
-) -> tuple[tuple[int, ...], int]:
-    """The static candidate VCs of one routing-memo key, as vc ids.
-
-    Returns ``(adaptive_vc_ids, escape_vc_id_or_-1)`` in exactly the
-    order ``RoutingFunction._static_candidates`` produces them
-    (direction-major, then adaptive index).
-    """
-    out: list[int] = []
-    indices = vc_map.adaptive[vc_class]
-    if indices and adaptive:
-        for dim, direction, _ in topology.productive_directions(
-            router, dst_router
-        ):
-            lid = topology.out_link(router, dim, direction).lid
-            for idx in indices:
-                out.append(lid * num_vcs + idx)
-    esc = -1
-    pair = vc_map.escape[vc_class]
-    if pair is not None:
-        dirs = topology.productive_directions(router, dst_router)
-        if dirs:
-            dim, direction, _ = min(dirs, key=lambda t: (t[0], -t[1]))
-            link = topology.out_link(router, dim, direction)
-            cls1 = link.crosses_dateline or (crossed_mask >> dim) & 1
-            esc = link.lid * num_vcs + (pair[1] if cls1 else pair[0])
-    return tuple(out), esc
+def _build_table_route_table(
+    topology: Topology, routing: Routing, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    vc_map = routing.vc_map
+    R = topology.num_routers
+    ndim = topology.ndim
+    vcls = vc_map.num_classes
+    nmask = 1 << ndim
+    n_rows = R * (R - 1) * vcls * nmask
+    rk_idx = np.full((R * R * vcls) << ndim, -1, dtype=np.int32)
+    rows = np.zeros((max(n_rows, 1), stride), dtype=np.int32)
+    row0 = 0
+    for r in range(R):
+        for dstr in range(R):
+            if dstr == r:
+                continue
+            for cls in range(vcls):
+                # mask-invariant: fill the whole mask axis from one row.
+                cands, esc = routing.static_candidate_ids(r, dstr, cls, 0)
+                block = rows[row0 : row0 + nmask]
+                block[:, 0] = len(cands)
+                block[:, 1] = esc
+                if cands:
+                    block[:, 2 : 2 + len(cands)] = cands
+                key0 = (((r * R + dstr) * vcls + cls)) << ndim
+                rk_idx[key0 : key0 + nmask] = np.arange(
+                    row0, row0 + nmask, dtype=np.int32
+                )
+                row0 += nmask
+    return rk_idx, rows.reshape(-1)

@@ -14,7 +14,7 @@ from repro.core.schemes import Scheme, build_scheme
 from repro.endpoint.interface import NetworkInterface
 from repro.faults.injector import FaultInjector
 from repro.network.fabric import Fabric
-from repro.network.topology import Torus
+from repro.network.topology import build_topology
 from repro.protocol.chains import Protocol
 from repro.protocol.transactions import PATTERNS
 from repro.sim.invariants import InvariantChecker, QuiesceResult, capture_dump
@@ -46,7 +46,12 @@ class Engine:
         their own traffic source plus protocol metadata.
         """
         self.config = config
-        self.topology = Torus(config.dims, bristling=config.bristling)
+        self.topology = build_topology(
+            config.topology,
+            dims=config.dims,
+            bristling=config.bristling,
+            file=config.topology_file,
+        )
 
         if traffic is None:
             pattern = PATTERNS.get(config.pattern)

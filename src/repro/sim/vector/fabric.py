@@ -33,8 +33,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.network.soa import TopologySoA, build_route_table, static_route_row
-from repro.network.topology import Torus
+from repro.network.soa import TopologySoA, build_route_table
+from repro.network.topology import Topology
 from repro.protocol.message import Message
 from repro.util.errors import ConfigurationError, SimulationError
 
@@ -216,7 +216,7 @@ class VectorFabric:
 
     def __init__(
         self,
-        topology: Torus,
+        topology: Topology,
         num_vcs: int,
         flit_buffer_depth: int,
         routing,
@@ -261,10 +261,7 @@ class VectorFabric:
                 f"{_MAX_ROUTE_KEYS}; use backend='reference' for this "
                 "topology size"
             )
-        maxcand = 0
-        if routing.adaptive:
-            widest = max((len(a) for a in vc_map.adaptive), default=0)
-            maxcand = 2 * ndim * widest
+        maxcand = routing.max_static_candidates()
         self._stride = stride = 2 + maxcand
         # Claims convert free or reserved slots into held ones, so the
         # senders parked at one ejection port are bounded per class by
@@ -321,7 +318,7 @@ class VectorFabric:
         # suspension plus a Python row fill.  _fill_missing_row remains
         # as a fallback but should never run.
         self._rk_idx, self._rows = build_route_table(
-            topology, vc_map, routing.adaptive, num_vcs, stride
+            topology, routing, num_vcs, stride
         )
         self._row_count = self._rows.size // stride
         self._row_cap = self._row_count
@@ -448,10 +445,7 @@ class VectorFabric:
         dstr = int(hdr[H_MISS_DSTR])
         cls = int(hdr[H_MISS_CLS])
         mask = int(hdr[H_MISS_MASK])
-        adaptive, esc = static_route_row(
-            self.topology, self.routing.vc_map, self.routing.adaptive,
-            self.num_vcs, r, dstr, cls, mask,
-        )
+        adaptive, esc = self.routing.static_candidate_ids(r, dstr, cls, mask)
         stride = self._stride
         if len(adaptive) > stride - 2:  # pragma: no cover - sized to map
             raise SimulationError("route row exceeds candidate capacity")

@@ -103,6 +103,35 @@ def test_small_points_bit_identical(cfg):
     assert_backends_identical(4000, **cfg)
 
 
+TOPOLOGY_LADDER = [
+    dict(topology="fullmesh", dims=(2, 4), scheme="SA", pattern="PAT721",
+         num_vcs=8, load=0.02, seed=1),
+    dict(topology="fullmesh", dims=(2, 4), scheme="PR", pattern="PAT271",
+         num_vcs=4, load=0.05, seed=2),
+    dict(topology="mesh2d", dims=(4, 4), scheme="DR", pattern="PAT271",
+         num_vcs=4, load=0.05, seed=1),
+    dict(topology="mesh2d", dims=(4, 4), scheme="PR", pattern="PAT721",
+         num_vcs=4, load=0.05, seed=3),
+    dict(topology="irregular", scheme="SA", pattern="PAT721",
+         num_vcs=8, load=0.02, seed=1),
+    dict(topology="irregular", scheme="DR", pattern="PAT271",
+         num_vcs=8, load=0.03, seed=4),
+    dict(topology="irregular", scheme="PR", pattern="PAT271",
+         num_vcs=4, load=0.05, seed=2),
+]
+
+
+@pytest.mark.parametrize(
+    "cfg", TOPOLOGY_LADDER,
+    ids=[f"{c['topology']}-{c['scheme']}-s{c['seed']}"
+         for c in TOPOLOGY_LADDER],
+)
+def test_new_topology_points_bit_identical(cfg):
+    """Table routing exports to the kernel identically to the reference
+    engine on full-mesh, open-mesh and irregular substrates."""
+    assert_backends_identical(4000, **cfg)
+
+
 def test_saturated_pr_exercises_rescue():
     """8x8 PR past saturation: token captures and lane rescues occur and agree."""
     snap = assert_backends_identical(

@@ -30,6 +30,7 @@ class TestWorkflow:
             "lint", "typecheck", "test", "smoke-benchmark",
             "engine-benchmark", "engine-speedup", "fault-smoke",
             "backend-equivalence", "detection-smoke", "farm-smoke",
+            "topology-smoke", "cdg-certify",
         }
 
     def test_concurrency_cancels_superseded_runs(self, workflow):
@@ -118,6 +119,37 @@ class TestWorkflow:
         assert "--hang-timeout" in runs
         assert "farm resume" in runs
         for step in steps:
+            if step.get("run") and "repro" in step["run"]:
+                assert step["env"]["PYTHONPATH"] == "src"
+
+    def test_topology_smoke_runs_campaign_and_file_topology_cli(self, workflow):
+        steps = workflow["jobs"]["topology-smoke"]["steps"]
+        runs = " ".join(s.get("run") or "" for s in steps)
+        # The campaign's run() raises on any broken guarantee (drain,
+        # conservation, SA knot-freedom), so the runner exit code gates.
+        assert "repro.experiments.runner smoke topologies" in runs
+        # And one end-to-end run on a JSON-loaded irregular graph.
+        assert "--topology file" in runs
+        assert "--topology-file" in runs
+        assert "--watchdog" in runs and "--invariants-every" in runs
+        for step in steps:
+            if step.get("run") and "repro" in step["run"]:
+                assert step["env"]["PYTHONPATH"] == "src"
+
+    def test_cdg_certify_gates_on_registry_and_uploads_witnesses(self, workflow):
+        job = workflow["jobs"]["cdg-certify"]
+        runs = " ".join(s.get("run") or "" for s in job["steps"])
+        # No pair arguments: the whole built-in registry is audited, and
+        # cdg-check exits 1 on a mismatch or un-annotated REFUTED pair.
+        assert "repro.cli cdg-check" in runs
+        assert "--json cdg_report.json" in runs
+        upload = next(
+            s for s in job["steps"] if "upload-artifact" in (s.get("uses") or "")
+        )
+        # Witness orderings / refutation cycles must survive a red run.
+        assert upload["if"] == "always()"
+        assert upload["with"]["path"] == "cdg_report.json"
+        for step in job["steps"]:
             if step.get("run") and "repro" in step["run"]:
                 assert step["env"]["PYTHONPATH"] == "src"
 

@@ -164,3 +164,56 @@ class TestCommands:
         rc = main(["experiments", "smoke", "table3"])
         assert rc == 0
         assert "Table 3" in capsys.readouterr().out
+
+
+class TestCdgCheck:
+    def test_list_names_every_builtin_pair(self, capsys):
+        from repro.analysis import builtin_pairs
+
+        assert main(["cdg-check", "--list"]) == 0
+        out = capsys.readouterr().out
+        for pair in builtin_pairs():
+            assert pair.name in out
+
+    def test_registry_gate_green_with_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "cdg_report.json"
+        rc = main(["cdg-check", "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 gate failure(s)" in out
+        payload = json.loads(path.read_text("utf-8"))
+        from repro.analysis import builtin_pairs
+
+        assert {r["name"] for r in payload} == {
+            p.name for p in builtin_pairs()
+        }
+        refuted = next(r for r in payload if r["verdict"] == "REFUTED")
+        assert refuted["cycle"] and refuted["annotation"]
+
+    def test_single_pair_by_name(self, capsys):
+        assert main(["cdg-check", "ring8-dor"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict CERTIFIED" in out and "witness" in out
+
+    def test_unknown_pair_rejected(self, capsys):
+        assert main(["cdg-check", "nope"]) == 2
+        assert "unknown pair" in capsys.readouterr().err
+
+    def test_adhoc_refuted_pair_exits_nonzero(self, capsys):
+        rc = main(["cdg-check", "--routing", "tfar", "--topology", "torus",
+                   "--dims", "4", "--vcs", "2"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "verdict REFUTED" in out and "dependency cycle" in out
+
+    def test_adhoc_certified_mesh(self, capsys):
+        rc = main(["cdg-check", "--routing", "duato", "--topology", "mesh2d",
+                   "--dims", "3x3", "--vcs", "4"])
+        assert rc == 0
+        assert "verdict CERTIFIED" in capsys.readouterr().out
+
+    def test_run_accepts_topology_flags(self, capsys):
+        rc = main(["run", "--topology", "fullmesh", "--dims", "2x4",
+                   "--load", "0.004", "--warmup", "200", "--measure", "500"])
+        assert rc == 0
+        assert "FullMesh" in capsys.readouterr().out

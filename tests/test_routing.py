@@ -204,3 +204,131 @@ class TestRoutingFunctions:
         cands[0].fifo.append((0, 0))  # make the first one fuller
         re_sorted = rf.adaptive_candidates(0, dst, msg)
         assert len(re_sorted[0].fifo) <= len(re_sorted[-1].fifo)
+
+
+class TestTableRouting:
+    """Table-driven routing on non-grid topologies (TableRouting)."""
+
+    def _bound(self, topology, routing, num_vcs):
+        routing.bind(_FakeFabricVcs(topology, num_vcs).link_vcs)
+        return routing
+
+    def test_factories_dispatch_on_topology(self):
+        from repro.network.routing import (
+            RoutingFunction,
+            TableRouting,
+            full_mesh_routing,
+            true_fully_adaptive_routing,
+        )
+        from repro.network.topology import FullMesh, irregular_example
+
+        assert isinstance(
+            duato_routing(Torus((4, 4)), duato_vc_map(4)), RoutingFunction
+        )
+        fm = FullMesh(4)
+        assert isinstance(
+            true_fully_adaptive_routing(fm, tfar_vc_map(2)), TableRouting
+        )
+        cano = full_mesh_routing(fm)
+        assert isinstance(cano, TableRouting)
+        assert cano.name == "cano-direct"
+        # Adaptivity over an up*/down* escape is refuted by cdg-check
+        # (irregular9-adaptive-tree), so the factory disables it.
+        updown = duato_routing(irregular_example(), partitioned_vc_map(4, 1))
+        assert isinstance(updown, TableRouting)
+        assert updown.adaptive is False
+
+    def test_dor_requires_escape_off_grid(self):
+        from repro.network.topology import irregular_example
+
+        with pytest.raises(ConfigurationError):
+            dimension_order_routing(irregular_example(), tfar_vc_map(4))
+
+    def test_fullmesh_candidates_are_the_direct_link(self):
+        from repro.network.routing import full_mesh_routing
+        from repro.network.topology import FullMesh
+
+        topo = FullMesh(4)
+        rt = self._bound(topo, full_mesh_routing(topo), 1)
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        cands = rt.candidates(0, 3, msg)
+        # VC-free direct routing: one adaptive VC on the direct link.
+        assert [vc.link for vc in cands] == [topo.direct_link(0, 3)]
+
+    def test_updown_escape_follows_the_tree(self):
+        from repro.network.topology import irregular_example
+
+        topo = irregular_example()
+        rt = self._bound(
+            topo, duato_routing(topo, partitioned_vc_map(4, 1)), 4
+        )
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        for src in range(topo.num_routers):
+            for dst in range(topo.num_routers):
+                if src == dst:
+                    continue
+                esc = rt.escape_candidate(src, dst, msg)
+                assert esc.link == topo.route_path(src, dst)[0]
+                # No datelines off the grid: always class-0 of the pair.
+                assert esc.index == rt.vc_map.escape[0][0]
+                # Escape-only routing: the escape is the whole menu.
+                assert rt.candidates(src, dst, msg) == [esc]
+
+    def test_adaptive_table_offers_minimal_links_then_escape(self):
+        from repro.network.routing import TableRouting
+        from repro.network.topology import irregular_example
+
+        topo = irregular_example()
+        rt = self._bound(
+            topo,
+            TableRouting(topo, partitioned_vc_map(4, 1), adaptive=True),
+            4,
+        )
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        src, dst = 0, 5
+        cands = rt.candidates(src, dst, msg)
+        want = topo.min_hops(src, dst) - 1
+        for vc in cands[:-1]:
+            assert topo.min_hops(vc.link.dst, dst) == want
+        assert cands[-1] is rt.escape_candidate(src, dst, msg)
+
+    def test_escape_appended_even_when_occupied(self):
+        from repro.network.topology import irregular_example
+
+        topo = irregular_example()
+        rt = self._bound(
+            topo, duato_routing(topo, partitioned_vc_map(4, 1)), 4
+        )
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        esc = rt.escape_candidate(2, 7, msg)
+        esc.owner = Message(M1, 1, 2)
+        assert rt.candidates(2, 7, msg) == [esc]
+
+    def test_static_candidate_ids_match_dynamic_menu(self):
+        from repro.network.routing import TableRouting
+        from repro.network.topology import irregular_example
+
+        topo = irregular_example()
+        num_vcs = 4
+        rt = self._bound(
+            topo,
+            TableRouting(topo, partitioned_vc_map(num_vcs, 1), adaptive=True),
+            num_vcs,
+        )
+        msg = Message(M1, 0, 0)
+        msg.vc_class = 0
+        maxcand = rt.max_static_candidates()
+        for src in range(topo.num_routers):
+            for dst in range(topo.num_routers):
+                if src == dst:
+                    continue
+                adaptive, esc = rt.static_candidate_ids(src, dst, 0, 0)
+                assert len(adaptive) <= maxcand
+                cands = rt.candidates(src, dst, msg)
+                ids = [vc.link.lid * num_vcs + vc.index for vc in cands]
+                assert sorted(ids[:-1]) == sorted(adaptive)
+                assert ids[-1] == esc

@@ -1,9 +1,21 @@
-"""Unit tests for k-ary n-cube topologies."""
+"""Unit tests for the topology substrate (grids, meshes, irregular)."""
+
+import json
 
 import networkx as nx
 import pytest
 
-from repro.network.topology import Torus, ring
+from repro.network.topology import (
+    TOPOLOGY_KINDS,
+    FullMesh,
+    IrregularGraph,
+    Mesh2D,
+    Torus,
+    build_topology,
+    irregular_example,
+    load_topology,
+    ring,
+)
 from repro.util.errors import ConfigurationError
 
 
@@ -145,3 +157,193 @@ class TestAnalysis:
 
     def test_capacity_of_single_router(self):
         assert Torus((1,)).uniform_capacity() == 1.0
+
+
+def _assert_valid_path(topology, src, dst):
+    path = topology.route_path(src, dst)
+    assert len(path) == topology.min_hops(src, dst)
+    cur = src
+    for link in path:
+        assert link.src == cur
+        cur = link.dst
+    assert cur == dst
+    return path
+
+
+class TestMesh2D:
+    def test_link_count_no_wrap(self):
+        t = Mesh2D((4, 4))
+        # 2 x (rows x (cols-1)) undirected internal edges per axis,
+        # each as two unidirectional links; no wrap links.
+        assert len(t.links) == 2 * 2 * 4 * 3
+
+    def test_no_dateline_anywhere(self):
+        assert not any(k.crosses_dateline for k in Mesh2D((4, 4)).links)
+
+    def test_requires_two_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Mesh2D((4,))
+        with pytest.raises(ConfigurationError):
+            Mesh2D((2, 2, 2))
+
+    def test_min_hops_is_manhattan(self):
+        t = Mesh2D((4, 5))
+        for a in range(t.num_routers):
+            for b in range(t.num_routers):
+                (ai, aj), (bi, bj) = t.coords(a), t.coords(b)
+                assert t.min_hops(a, b) == abs(ai - bi) + abs(aj - bj)
+
+    def test_edge_routers_have_no_outward_links(self):
+        t = Mesh2D((3, 3))
+        corner = t.router_id((0, 0))
+        dirs = {(k.dim, k.direction) for k in t.out_links(corner)}
+        assert dirs == {(0, +1), (1, +1)}
+
+    def test_dor_path_minimal_and_dimension_ordered(self):
+        t = Mesh2D((4, 4))
+        for a in range(t.num_routers):
+            for b in range(t.num_routers):
+                path = _assert_valid_path(t, a, b)
+                dims = [hop.dim for hop in path]
+                assert dims == sorted(dims)
+
+    def test_productive_directions_signed(self):
+        t = Mesh2D((4, 4))
+        dirs = t.productive_directions(t.router_id((3, 0)),
+                                       t.router_id((0, 2)))
+        assert (0, -1, 3) in dirs and (1, +1, 2) in dirs
+        assert len(dirs) == 2
+
+
+class TestFullMesh:
+    def test_every_ordered_pair_has_one_link(self):
+        t = FullMesh(8)
+        assert len(t.links) == 8 * 7
+        assert {(k.src, k.dst) for k in t.links} == {
+            (a, b) for a in range(8) for b in range(8) if a != b
+        }
+
+    def test_min_hops_is_one_off_diagonal(self):
+        t = FullMesh(5)
+        for a in range(5):
+            for b in range(5):
+                assert t.min_hops(a, b) == (0 if a == b else 1)
+
+    def test_route_path_is_the_direct_link(self):
+        t = FullMesh(6)
+        for a in range(6):
+            for b in range(6):
+                if a == b:
+                    continue
+                (link,) = _assert_valid_path(t, a, b)
+                assert link is t.direct_link(a, b)
+
+    def test_degenerate_single_router_has_no_links(self):
+        # Consistent with Torus((1,)): valid but linkless.
+        assert len(FullMesh(1).links) == 0
+
+    def test_rejects_nonpositive_router_count(self):
+        with pytest.raises(ConfigurationError):
+            FullMesh(0)
+
+
+class TestIrregularGraph:
+    def test_builtin_example_shape(self):
+        t = irregular_example()
+        assert t.num_routers == 9
+        # 12 undirected edges, each expanded to two directed links.
+        assert len(t.links) == 24
+        assert not any(k.crosses_dateline for k in t.links)
+
+    def test_route_path_valid_everywhere(self):
+        t = irregular_example()
+        for a in range(t.num_routers):
+            for b in range(t.num_routers):
+                path = t.route_path(a, b) if a != b else []
+                cur = a
+                for link in path:
+                    assert link.src == cur
+                    cur = link.dst
+                assert cur == b
+
+    def test_tree_paths_go_up_then_down(self):
+        t = irregular_example()
+        for a in range(t.num_routers):
+            for b in range(t.num_routers):
+                if a == b:
+                    continue
+                depths = [t._depth[a]]
+                depths += [t._depth[k.dst] for k in t.route_path(a, b)]
+                turn = depths.index(min(depths))
+                # Monotone descent to the LCA, then monotone ascent.
+                assert depths[: turn + 1] == sorted(depths[: turn + 1],
+                                                    reverse=True)
+                assert depths[turn:] == sorted(depths[turn:])
+
+    def test_disconnected_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IrregularGraph(4, [(0, 1), (2, 3)])
+
+    def test_min_hops_symmetric(self):
+        t = irregular_example()
+        for a in range(t.num_routers):
+            for b in range(t.num_routers):
+                assert t.min_hops(a, b) == t.min_hops(b, a)
+
+    def test_bristling_multiplies_nodes(self):
+        t = irregular_example(bristling=2)
+        assert t.num_nodes == 18
+        assert t.router_of_node(3) == 1
+
+
+class TestLoadAndBuild:
+    def test_load_topology_roundtrip(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps({
+            "name": "tri", "routers": 3, "bristling": 2,
+            "links": [[0, 1], [1, 2], [2, 0]],
+        }), "utf-8")
+        t = load_topology(path)
+        assert isinstance(t, IrregularGraph)
+        assert t.num_routers == 3
+        assert t.num_nodes == 6
+        assert len(t.links) == 6
+
+    def test_load_topology_bristling_override(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps({
+            "routers": 2, "bristling": 4, "links": [[0, 1]],
+        }), "utf-8")
+        assert load_topology(path, bristling=1).num_nodes == 2
+
+    def test_load_topology_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]", "utf-8")
+        with pytest.raises(ConfigurationError):
+            load_topology(path)
+        with pytest.raises(ConfigurationError):
+            load_topology(tmp_path / "missing.json")
+
+    def test_build_topology_dispatch(self, tmp_path):
+        assert isinstance(build_topology("torus", dims=(4, 4)), Torus)
+        assert isinstance(build_topology("mesh2d", dims=(4, 4)), Mesh2D)
+        fm = build_topology("fullmesh", dims=(2, 4))
+        assert isinstance(fm, FullMesh) and fm.num_routers == 8
+        assert isinstance(build_topology("irregular"), IrregularGraph)
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps({
+            "routers": 2, "links": [[0, 1]],
+        }), "utf-8")
+        assert isinstance(build_topology("file", file=str(path)),
+                          IrregularGraph)
+
+    def test_build_topology_rejects_unknown_and_missing_file(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("hypercube")
+        with pytest.raises(ConfigurationError):
+            build_topology("file")
+
+    def test_kinds_constant_covers_dispatch(self):
+        assert set(TOPOLOGY_KINDS) == {
+            "torus", "mesh2d", "fullmesh", "irregular", "file"
+        }
