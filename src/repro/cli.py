@@ -21,6 +21,14 @@ farm
     Distributed sweep campaigns: ``plan`` a campaign directory, ``run``
     it across a set of hosts, ``status`` it mid-flight, ``resume`` a
     killed run (finished points come straight from the cache).
+serve
+    Run the campaign service: an async HTTP job API with a named
+    scenario library and live SSE telemetry streams.
+submit
+    Submit a named scenario to a running service (optionally following
+    its event stream to completion).
+jobs
+    List a running service's jobs, or show/stream/download one job.
 """
 
 from __future__ import annotations
@@ -473,6 +481,118 @@ def cmd_cdg_check(args) -> int:
     return 1 if problems else 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.http import run_service
+
+    def announce(server) -> None:
+        print(f"campaign service on http://{server.host}:{server.port}"
+              f" (jobs dir: {args.jobs_dir}, cache: {args.cache_dir})")
+        from repro.service.scenarios import scenario_names
+
+        print(f"scenarios: {', '.join(scenario_names())}")
+
+    try:
+        asyncio.run(run_service(
+            host=args.host, port=args.port, cache_dir=args.cache_dir,
+            jobs_dir=args.jobs_dir, workers=args.workers,
+            farm_hosts=args.hosts, sample_every=args.sample_every,
+            announce=announce,
+        ))
+    except KeyboardInterrupt:
+        print("\ndrained and stopped")
+    return 0
+
+
+def _print_job_line(job: dict) -> None:
+    print(f"{job['id']:12s} {job['state']:9s} p{job['priority']:<3d}"
+          f" {job['done_points']:3d}/{job['total']:<3d}"
+          f" ({job['cached']} cached)  {job['name']}")
+
+
+def _follow_job(client, job_id: str) -> int:
+    from repro.service import ServiceError
+
+    try:
+        for event, data, _ in client.stream_events(job_id):
+            if event == "progress":
+                src = "cache" if data.get("cached") else "sim"
+                print(f"  point {data.get('point', '?')}:"
+                      f" {data.get('done', '?')}/{data.get('total', '?')}"
+                      f" [{src}]")
+            elif event == "status":
+                print(f"  state -> {data.get('state')}")
+            elif event == "dropped":
+                print(f"  (stream lagged: {data['dropped']} events dropped)")
+            elif event == "done":
+                state = data.get("state")
+                print(f"job {job_id}: {state}, {data.get('computed')}"
+                      f" computed + {data.get('cached')} cached"
+                      f" of {data.get('total')}")
+                if data.get("error"):
+                    print(f"  error: {data['error']}", file=sys.stderr)
+                return 0 if state == "done" else 1
+    except ServiceError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        reply = client.submit(
+            args.scenario, priority=args.priority, scale=args.scale,
+            seed=args.seed, warmup=args.warmup, measure=args.measure,
+        )
+    except (ServiceError, ConnectionError) as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    job = reply["job"]
+    verb = "submitted" if reply["created"] else "already known"
+    print(f"{verb}: job {job['id']} ({job['name']})"
+          f" priority={job['priority']} state={job['state']}"
+          f" cached={job['cached']}/{job['total']}")
+    if args.follow and job["state"] not in ("done", "failed", "cancelled"):
+        return _follow_job(client, job["id"])
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.scenarios:
+            for entry in client.scenarios():
+                print(f"{entry['name']:24s} {entry['category']:12s}"
+                      f" {entry['smoke_points']:3d}pt  "
+                      f"{entry['description']}")
+            return 0
+        if args.job_id is None:
+            for job in client.jobs():
+                _print_job_line(job)
+            return 0
+        if args.follow:
+            return _follow_job(client, args.job_id)
+        if args.trace is not None:
+            trace = client.trace(args.job_id)
+            with open(args.trace, "w") as fh:
+                json.dump(trace, fh)
+            print(f"wrote {args.trace}"
+                  f" ({len(trace['traceEvents'])} events)")
+            return 0
+        job = client.job(args.job_id, results=args.results)
+        print(json.dumps(job, indent=2))
+        return 0
+    except (ServiceError, ConnectionError) as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_trace(args) -> int:
     from repro.traffic.splash import generate_app_trace
     from repro.traffic.trace import write_trace
@@ -597,6 +717,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH",
                    help="write every report as a JSON artifact")
     p.set_defaults(func=cmd_cdg_check)
+
+    p = sub.add_parser("serve", help="run the campaign service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="listen port (0 picks a free one;"
+                   " default: %(default)s)")
+    p.add_argument("--jobs-dir", default="service_jobs",
+                   help="job records + queue persistence"
+                   " (default: %(default)s)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="1 = traced in-process execution (live time"
+                   " series + Perfetto traces); >1 = parallel pool"
+                   " (progress events only)")
+    p.add_argument("--hosts", default=None,
+                   help="execute on a farm instead (same syntax as"
+                   " 'farm run --hosts')")
+    p.add_argument("--sample-every", type=int, default=200, metavar="N",
+                   help="metrics sampling period for streamed time series")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a scenario to the service")
+    p.add_argument("scenario", help="scenario name (see 'repro jobs"
+                   " --scenarios')")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321)
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (default: %(default)s)")
+    p.add_argument("--scale", default="smoke", choices=["smoke", "paper"])
+    p.add_argument("--seed", type=int, default=None,
+                   help="override every point's seed")
+    p.add_argument("--warmup", type=int, default=None)
+    p.add_argument("--measure", type=int, default=None)
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's events until it finishes")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("jobs", help="inspect a running service")
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id (omit to list all jobs)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321)
+    p.add_argument("--scenarios", action="store_true",
+                   help="list the scenario library instead")
+    p.add_argument("--results", action="store_true",
+                   help="embed per-point results in the job JSON")
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's events")
+    p.add_argument("--trace", metavar="PATH",
+                   help="download the job's Perfetto trace to PATH")
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("trace", help="generate a synthetic app trace")
     p.add_argument("app", choices=["fft", "lu", "radix", "water"])

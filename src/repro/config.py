@@ -16,7 +16,9 @@ from repro.faults.models import FaultSpec
 from repro.util.errors import ConfigurationError
 
 _VALID_SCHEMES = ("SA", "DR", "PR", "NONE")
-_VALID_TOPOLOGIES = ("torus", "mesh2d", "fullmesh", "irregular", "file")
+_VALID_TOPOLOGIES = (
+    "torus", "mesh2d", "fullmesh", "irregular", "fat_tree", "file"
+)
 _VALID_QUEUE_MODES = ("auto", "shared", "per-net", "per-type")
 _VALID_BACKENDS = ("reference", "vector")
 _VALID_DETECTORS = ("endpoint", "cmh", "timeout")

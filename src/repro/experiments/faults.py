@@ -1,9 +1,14 @@
-"""Fault campaign: scheme x fault-model matrix under adversarial faults.
+"""Fault campaign: substrate x scheme x fault-model matrix.
 
 Every cell injects one fault model into an otherwise healthy run — a
 memory-controller (consumer) stall, a delayed-ejection port, a dead
 link, a frozen router, or (PR only) a lost token — then drains the
-system and audits the books.  Reported per cell:
+system and audits the books.  The grid is **topology-aware**: every
+(scheme, model) cell runs on the 4x4 torus, the 4x4 mesh (edge routers,
+no wraparound) and the 9-router irregular graph (up*/down* escape), so
+the drain/conservation guarantees are exercised where the routing
+actually differs, not just on the symmetric substrate.  Reported per
+cell:
 
 * **detect** — detection latency: cycles from fault onset to the first
   detected deadlock (``-`` when the scheme never declared one; SA has no
@@ -57,6 +62,14 @@ _COMMON_MODELS = ("consumer-stall", "eject-stall", "link-stall", "router-freeze"
 
 _SCHEMES = ("SA", "DR", "PR")
 
+#: substrates the grid runs on.  Fault targets (router 5, link 3) are
+#: interior/busy on all three: the smallest has 9 routers and 22+ links.
+_SUBSTRATES = (
+    ("torus4x4", {"topology": "torus", "dims": (4, 4)}),
+    ("mesh2d4x4", {"topology": "mesh2d", "dims": (4, 4)}),
+    ("irregular9", {"topology": "irregular", "dims": (4, 4)}),
+)
+
 
 #: per-scheme network/protocol configuration: each scheme runs its
 #: paper-representative cell.  SA needs C >= 2L (PAT721's four-type
@@ -74,8 +87,9 @@ _SCHEME_CONFIG = {
 def _specs_for(model: str, cs: CampaignScale) -> tuple[FaultSpec, ...]:
     if model == "token-loss":
         return (FaultSpec("token-loss", start=cs.fault_start),)
-    # Targets sit mid-fabric on the 4x4 torus so the fault shadows real
-    # traffic: node/router 5 is interior, link 3 carries busy flows.
+    # Targets sit mid-fabric so the fault shadows real traffic:
+    # node/router 5 is interior and link 3 carries busy flows on every
+    # substrate in the grid (all have >= 9 routers and >= 22 links).
     target = {"link-stall": 3, "router-freeze": 5}.get(model, 5)
     return (
         FaultSpec(model, target=target, start=cs.fault_start,
@@ -84,9 +98,11 @@ def _specs_for(model: str, cs: CampaignScale) -> tuple[FaultSpec, ...]:
 
 
 def _run_cell(scheme: str, model: str, cs: CampaignScale, seed: int,
-              tracer=None) -> dict:
+              tracer=None, substrate: dict | None = None,
+              substrate_name: str = "torus4x4") -> dict:
     config = SimConfig(
-        dims=(4, 4),
+        **(substrate if substrate is not None
+           else {"topology": "torus", "dims": (4, 4)}),
         scheme=scheme,
         load=0.012,
         seed=seed,
@@ -104,14 +120,15 @@ def _run_cell(scheme: str, model: str, cs: CampaignScale, seed: int,
     drained = engine.quiesce(cs.quiesce_cycles)
     if not drained:
         raise RuntimeError(
-            f"fault campaign cell {scheme}/{model} failed to drain:\n"
-            + format_dump(drained.dump)
+            f"fault campaign cell {substrate_name}/{scheme}/{model}"
+            f" failed to drain:\n" + format_dump(drained.dump)
         )
     lost = conservation_delta(engine)
     if lost != 0:
         raise RuntimeError(
-            f"fault campaign cell {scheme}/{model}: conservation delta"
-            f" {lost} (messages {'lost' if lost > 0 else 'duplicated'})"
+            f"fault campaign cell {substrate_name}/{scheme}/{model}:"
+            f" conservation delta {lost}"
+            f" (messages {'lost' if lost > 0 else 'duplicated'})"
         )
     stats = engine.stats
     controller = getattr(engine.scheme, "controller", None)
@@ -121,6 +138,7 @@ def _run_cell(scheme: str, model: str, cs: CampaignScale, seed: int,
     )
     regen = getattr(controller, "token_regenerations", 0)
     row = {
+        "substrate": substrate_name,
         "scheme": scheme,
         "model": model,
         "detect_latency": detect,
@@ -148,18 +166,24 @@ def run(scale: str | Scale = "smoke", seed: int = 11) -> list[dict]:
     name = scale if isinstance(scale, str) else get_scale(scale).name
     cs = _CAMPAIGN_SCALES[name]
     rows = []
-    for scheme in _SCHEMES:
-        models = _COMMON_MODELS + (("token-loss",) if scheme == "PR" else ())
-        for model in models:
-            rows.append(_run_cell(scheme, model, cs, seed))
+    for substrate_name, substrate in _SUBSTRATES:
+        for scheme in _SCHEMES:
+            models = _COMMON_MODELS + (
+                ("token-loss",) if scheme == "PR" else ()
+            )
+            for model in models:
+                rows.append(_run_cell(
+                    scheme, model, cs, seed, substrate=substrate,
+                    substrate_name=substrate_name,
+                ))
     return rows
 
 
 def main(scale: str = "smoke") -> None:
     rows = run(scale)
-    print("\n== Fault campaign: scheme x fault model ==")
-    print(f"{'scheme':7s} {'fault':15s} {'detect':>7s} {'recov':>7s}"
-          f" {'deliv':>7s} {'lost':>5s}")
+    print("\n== Fault campaign: substrate x scheme x fault model ==")
+    print(f"{'substrate':11s} {'scheme':7s} {'fault':15s} {'detect':>7s}"
+          f" {'recov':>7s} {'deliv':>7s} {'lost':>5s}")
     for row in rows:
         detect = (
             f"{row['detect_latency']}c"
@@ -169,11 +193,12 @@ def main(scale: str = "smoke") -> None:
         if row["token_regenerations"]:
             recov += f"+{row['token_regenerations']}regen"
         print(
-            f"{row['scheme']:7s} {row['model']:15s} {detect:>7s} {recov:>7s}"
+            f"{row['substrate']:11s} {row['scheme']:7s} {row['model']:15s}"
+            f" {detect:>7s} {recov:>7s}"
             f" {row['delivered']:7d} {row['lost']:5d}"
         )
-    print("all cells drained; conservation delta 0 everywhere"
-          " (PR no-kill guarantee holds)")
+    print("all cells drained on every substrate; conservation delta 0"
+          " everywhere (PR no-kill guarantee holds)")
 
 
 if __name__ == "__main__":

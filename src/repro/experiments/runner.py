@@ -37,6 +37,7 @@ from repro.experiments import (
     fig9_8vc,
     fig10_16vc,
     fig11_queues,
+    scenario_sweep,
     table1_responses,
     table3_distributions,
     telemetry,
@@ -62,6 +63,7 @@ EXPERIMENTS = {
     "detection_lab": detection_lab,
     "topologies": topologies,
     "cdg_lab": cdg_lab,
+    "scenarios": scenario_sweep,
 }
 
 

@@ -22,7 +22,12 @@ from pathlib import Path
 
 from repro.config import SimConfig
 from repro.faults.models import FaultSpec
-from repro.sim.parallel import ResultCache, code_version, point_key
+from repro.sim.parallel import (
+    ResultCache,
+    code_version,
+    point_key,
+    resolve_points,
+)
 from repro.sim.results import RunResult
 from repro.util.errors import ConfigurationError
 
@@ -173,14 +178,14 @@ def resolve_cached(spec: CampaignSpec,
 
     This is both the resume mechanism (a rerun only re-plans the
     missing indices) and the merge mechanism (after a run, everything
-    is read back through the same keys).
+    is read back through the same keys).  The dedup itself is the
+    shared :func:`repro.sim.parallel.resolve_points`, so farm planning,
+    local execution and the campaign service agree on every key.
     """
-    progress = CampaignProgress(results=[None] * len(spec.configs))
-    keys = spec.point_keys()
-    for idx, key in enumerate(keys):
-        hit = cache.get(key) if cache is not None else None
-        if hit is not None:
-            progress.results[idx] = hit
-        else:
-            progress.missing.append(idx)
-    return progress
+    resolution = resolve_points(
+        spec.configs, spec.warmup, spec.measure, cache,
+        keys=spec.point_keys(),
+    )
+    return CampaignProgress(
+        results=resolution.results, missing=resolution.missing
+    )

@@ -596,6 +596,52 @@ def irregular_example(bristling: int = 1) -> IrregularGraph:
     return IrregularGraph(9, edges, bristling=bristling, name="irregular9")
 
 
+def fat_tree(
+    dims: tuple[int, ...] = (4, 4),
+    bristling: int = 1,
+    max_fatness: int = 4,
+) -> IrregularGraph:
+    """A Leiserson-style fat tree built on :class:`IrregularGraph`.
+
+    ``dims`` gives the down-arity per level, root first: ``(4, 4)`` is a
+    root with 4 aggregation switches of 4 leaves each (21 routers).
+    Link capacity grows toward the root by *parallel* undirected edges:
+    the trunk between a switch and its parent carries as many parallel
+    channels as the switch has leaf descendants, capped at
+    ``max_fatness``.  The up*/down* escape discipline uses the first
+    parallel link per trunk (the BFS spanning tree from the root is the
+    tree itself); the extra parallel links are adaptive candidates for
+    routings that allow them (PR's true fully adaptive routing), which
+    is where the fatness pays off under load.
+
+    Router ids are assigned in BFS order (root 0, then level by level),
+    so sweep targets near id 0 sit at the bandwidth bottleneck.
+    """
+    if not dims or any(k < 1 for k in dims):
+        raise ConfigurationError(f"invalid fat-tree arities {dims!r}")
+    if max_fatness < 1:
+        raise ConfigurationError("max_fatness must be positive")
+    dims = tuple(int(k) for k in dims)
+    edges: list[tuple[int, int]] = []
+    level = [0]
+    next_id = 1
+    for depth, arity in enumerate(dims):
+        below = math.prod(dims[depth + 1:])
+        fatness = min(max_fatness, below)
+        nxt: list[int] = []
+        for parent in level:
+            for _ in range(arity):
+                child = next_id
+                next_id += 1
+                nxt.append(child)
+                edges.extend([(parent, child)] * fatness)
+        level = nxt
+    label = "x".join(str(k) for k in dims)
+    return IrregularGraph(
+        next_id, edges, bristling=bristling, name=f"fattree{label}"
+    )
+
+
 def load_topology(path: str | Path, bristling: int | None = None) -> IrregularGraph:
     """Load an :class:`IrregularGraph` from a JSON file.
 
@@ -627,7 +673,9 @@ def load_topology(path: str | Path, bristling: int | None = None) -> IrregularGr
 
 
 #: Values accepted by SimConfig.topology / ``--topology``.
-TOPOLOGY_KINDS = ("torus", "mesh2d", "fullmesh", "irregular", "file")
+TOPOLOGY_KINDS = (
+    "torus", "mesh2d", "fullmesh", "irregular", "fat_tree", "file"
+)
 
 
 def build_topology(
@@ -651,6 +699,8 @@ def build_topology(
         return FullMesh(math.prod(dims), bristling=bristling)
     if kind == "irregular":
         return irregular_example(bristling=bristling)
+    if kind == "fat_tree":
+        return fat_tree(dims, bristling=bristling)
     if kind == "file":
         if not file:
             raise ConfigurationError(

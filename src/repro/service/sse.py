@@ -1,0 +1,176 @@
+"""Server-Sent Events framing and a bounded fan-out broker.
+
+SSE is the streaming transport of the campaign service: stdlib-only,
+proxy-friendly, and trivially parseable.  :func:`format_sse` /
+:func:`parse_sse` implement the wire framing (including multi-line
+data splitting) symmetrically, so the client, the server and the tests
+share one implementation.
+
+:class:`EventBroker` fans job events out to any number of subscribers
+with *bounded* per-subscriber queues: a slow client never blocks the
+job manager or other subscribers.  On overflow the oldest queued event
+is dropped and the subscriber's next delivered event carries a
+``dropped`` marker, so a lagging consumer knows its view has gaps
+instead of silently seeing a truncated history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Any
+
+#: events kept per topic for replay to late subscribers.
+DEFAULT_HISTORY = 512
+#: per-subscriber queue bound (overflow drops oldest + marks the gap).
+DEFAULT_QUEUE_SIZE = 256
+
+
+def format_sse(event: str, data: Any, event_id: int | None = None) -> bytes:
+    """Serialize one event in SSE wire framing.
+
+    ``data`` is JSON-encoded; embedded newlines become multiple
+    ``data:`` lines per the SSE spec (clients re-join with "\\n").
+    """
+    text = data if isinstance(data, str) else json.dumps(data, default=str)
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    for chunk in text.split("\n"):
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def parse_sse(lines) -> Any:
+    """Parse SSE frames from an iterable of text lines.
+
+    Yields ``(event, data, id)`` tuples; ``data`` is the re-joined data
+    payload (still a string — callers JSON-decode where appropriate).
+    Comment lines (``:`` prefix) are ignored per spec.
+    """
+    event, data, event_id = None, [], None
+    for raw in lines:
+        line = raw.rstrip("\r\n") if isinstance(raw, str) else raw.decode(
+            "utf-8"
+        ).rstrip("\r\n")
+        if not line:
+            if data or event is not None:
+                yield (event or "message", "\n".join(data), event_id)
+            event, data, event_id = None, [], None
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "event":
+            event = value
+        elif field == "data":
+            data.append(value)
+        elif field == "id":
+            try:
+                event_id = int(value)
+            except ValueError:
+                event_id = None
+    if data or event is not None:
+        yield (event or "message", "\n".join(data), event_id)
+
+
+class Subscription:
+    """One subscriber's bounded event queue (async-iterable)."""
+
+    def __init__(self, broker: "EventBroker", topic: str,
+                 queue_size: int) -> None:
+        self._broker = broker
+        self.topic = topic
+        self._queue: deque[tuple[int, str, Any]] = deque()
+        self._queue_size = queue_size
+        self._wake = asyncio.Event()
+        #: events discarded because this subscriber lagged.
+        self.dropped = 0
+        self._pending_gap = 0
+        self.closed = False
+
+    def _offer(self, item: tuple[int, str, Any]) -> None:
+        if len(self._queue) >= self._queue_size:
+            self._queue.popleft()
+            self.dropped += 1
+            self._pending_gap += 1
+        self._queue.append(item)
+        self._wake.set()
+
+    async def get(self) -> tuple[int, str, Any]:
+        """Next ``(id, event, data)``; a lag gap is delivered first."""
+        while not self._queue:
+            if self.closed:
+                raise StopAsyncIteration
+            self._wake.clear()
+            await self._wake.wait()
+        if self._pending_gap:
+            gap, self._pending_gap = self._pending_gap, 0
+            return (-1, "dropped", {"dropped": gap, "total": self.dropped})
+        return self._queue.popleft()
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> tuple[int, str, Any]:
+        try:
+            return await self.get()
+        except StopAsyncIteration:
+            raise
+
+    def close(self) -> None:
+        self.closed = True
+        self._wake.set()
+        self._broker._detach(self)
+
+
+class EventBroker:
+    """Per-topic pub/sub with replay history and bounded subscribers."""
+
+    def __init__(self, history: int = DEFAULT_HISTORY,
+                 queue_size: int = DEFAULT_QUEUE_SIZE) -> None:
+        self._history: dict[str, deque[tuple[int, str, Any]]] = {}
+        self._subs: dict[str, list[Subscription]] = {}
+        self._next_id = 0
+        self.history_size = history
+        self.queue_size = queue_size
+
+    def publish(self, topic: str, event: str, data: Any) -> int:
+        """Record and fan out one event; returns its id."""
+        self._next_id += 1
+        item = (self._next_id, event, data)
+        hist = self._history.setdefault(
+            topic, deque(maxlen=self.history_size)
+        )
+        hist.append(item)
+        for sub in self._subs.get(topic, []):
+            sub._offer(item)
+        return self._next_id
+
+    def subscribe(self, topic: str, replay: bool = True,
+                  queue_size: int | None = None) -> Subscription:
+        """Attach a subscriber; with ``replay`` the history is queued
+        first (subject to the same bound, oldest dropped first)."""
+        sub = Subscription(
+            self, topic,
+            queue_size if queue_size is not None else self.queue_size,
+        )
+        self._subs.setdefault(topic, []).append(sub)
+        if replay:
+            for item in self._history.get(topic, ()):
+                sub._offer(item)
+        return sub
+
+    def _detach(self, sub: Subscription) -> None:
+        subs = self._subs.get(sub.topic)
+        if subs and sub in subs:
+            subs.remove(sub)
+
+    def close_topic(self, topic: str) -> None:
+        """Wake every subscriber of a finished topic so streams end."""
+        for sub in list(self._subs.get(topic, [])):
+            sub.closed = True
+            sub._wake.set()

@@ -27,7 +27,7 @@ import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from functools import lru_cache
 from pathlib import Path
 
@@ -170,6 +170,68 @@ class ResultCache:
             raise
 
 
+@dataclass
+class PointResolution:
+    """The cache's answer for a batch of points: hits, keys, misses.
+
+    This is the one dedup implementation shared by local execution
+    (:func:`run_points`), farm planning
+    (:func:`repro.farm.plan.resolve_cached`) and the campaign service's
+    pre-schedule dedup (:mod:`repro.service`): every consumer sees the
+    same keys, so a point computed by any of them is a hit for all.
+    """
+
+    #: cache key per point, in input order.
+    keys: list[str]
+    #: cache hit per point (None where the cache missed).
+    results: list[RunResult | None]
+    #: indices of the points still to compute, in input order.
+    missing: list[int]
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def cached(self) -> int:
+        return self.total - len(self.missing)
+
+
+def resolve_points(
+    configs: Sequence[SimConfig],
+    warmup: int,
+    measure: int,
+    cache: ResultCache | None,
+    *,
+    keys: Sequence[str] | None = None,
+) -> PointResolution:
+    """Resolve a batch of points against the cache (dedup, no execution).
+
+    With ``cache=None`` every point is a miss (the keys are still
+    computed, so callers can schedule and later write back).  ``keys``
+    lets callers that already hold the batch's keys skip recomputing
+    the config digests.
+    """
+    if keys is None:
+        keys = [point_key(config, warmup, measure) for config in configs]
+    else:
+        keys = list(keys)
+        if len(keys) != len(configs):
+            raise ValueError(
+                f"{len(keys)} keys for {len(configs)} configs"
+            )
+    resolution = PointResolution(
+        keys=keys, results=[None] * len(keys), missing=[]
+    )
+    for idx, key in enumerate(keys):
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            resolution.results[idx] = hit
+        else:
+            resolution.missing.append(idx)
+    return resolution
+
+
 def _timed(point_fn: PointFn, config: SimConfig, warmup: int,
            measure: int) -> tuple[RunResult, float]:
     """Worker-side wrapper adding per-point wall-clock timing."""
@@ -223,18 +285,13 @@ def run_points(
     if backoff is None:
         backoff = DEFAULT_BACKOFF
 
-    results: list[RunResult | None] = [None] * len(configs)
-    keys: list[str | None] = [None] * len(configs)
-    jobs: dict[int, SimConfig] = {}
-    for idx, config in enumerate(configs):
-        if cache is not None:
-            keys[idx] = point_key(config, warmup, measure)
-            hit = cache.get(keys[idx])
-            if hit is not None:
-                results[idx] = hit
-                reporter.update(cached=True)
-                continue
-        jobs[idx] = config
+    resolution = resolve_points(configs, warmup, measure, cache)
+    results, keys = resolution.results, resolution.keys
+    for _ in range(resolution.cached):
+        reporter.update(cached=True)
+    jobs: dict[int, SimConfig] = {
+        idx: configs[idx] for idx in resolution.missing
+    }
 
     failures: dict[int, tuple[SimConfig, BaseException]] = {}
 

@@ -28,6 +28,16 @@ def run_point(config: SimConfig, warmup: int, measure: int) -> RunResult:
     """Run one (config, load) point and summarize the window."""
     engine = build_engine(config)
     window = engine.run_measured(warmup, measure)
+    return summarize_window(config, engine, window)
+
+
+def summarize_window(config: SimConfig, engine, window) -> RunResult:
+    """Fold one measured window into a :class:`RunResult`.
+
+    Shared by :func:`run_point` and the campaign service's traced
+    point execution (:mod:`repro.service.jobs`), so a streamed job and
+    a plain sweep summarize identically by construction.
+    """
     nodes = engine.topology.num_nodes
     return RunResult(
         scheme=config.scheme,

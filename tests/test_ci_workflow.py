@@ -30,7 +30,7 @@ class TestWorkflow:
             "lint", "typecheck", "test", "smoke-benchmark",
             "engine-benchmark", "engine-speedup", "fault-smoke",
             "backend-equivalence", "detection-smoke", "farm-smoke",
-            "topology-smoke", "cdg-certify",
+            "topology-smoke", "cdg-certify", "service-smoke",
         }
 
     def test_concurrency_cancels_superseded_runs(self, workflow):
@@ -149,6 +149,31 @@ class TestWorkflow:
         # Witness orderings / refutation cycles must survive a red run.
         assert upload["if"] == "always()"
         assert upload["with"]["path"] == "cdg_report.json"
+        for step in job["steps"]:
+            if step.get("run") and "repro" in step["run"]:
+                assert step["env"]["PYTHONPATH"] == "src"
+
+    def test_service_smoke_runs_suite_and_http_flow(self, workflow):
+        job = workflow["jobs"]["service-smoke"]
+        runs = " ".join(s.get("run") or "" for s in job["steps"])
+        # The deterministic suite (framing, backpressure, job manager).
+        assert "tests/test_service.py" in runs
+        # And the operator path: a real serve process, a scenario
+        # submitted over HTTP, SSE progress + samples asserted, the
+        # Perfetto artifact shape-checked, and a clean drain (server
+        # exit code 0).
+        assert '"serve"' in runs
+        assert "client.submit(" in runs
+        assert "stream_events" in runs
+        assert '"sample" in kinds' in runs and '"done" in kinds' in runs
+        assert "client.trace(" in runs
+        assert "client.shutdown()" in runs
+        assert "srv.wait" in runs
+        upload = next(
+            s for s in job["steps"] if "upload-artifact" in (s.get("uses") or "")
+        )
+        assert upload["if"] == "always()"
+        assert upload["with"]["path"] == "service_trace.json"
         for step in job["steps"]:
             if step.get("run") and "repro" in step["run"]:
                 assert step["env"]["PYTHONPATH"] == "src"

@@ -14,7 +14,13 @@ import pytest
 
 from repro.config import ExecutionConfig, SimConfig
 from repro.sim import parallel
-from repro.sim.parallel import ResultCache, point_key, run_points
+from repro.sim.parallel import (
+    PointResolution,
+    ResultCache,
+    point_key,
+    resolve_points,
+    run_points,
+)
 from repro.sim.sweep import run_point, run_sweep
 from repro.util.errors import LivenessError, PointTimeoutError, SweepExecutionError
 from repro.util.progress import ProgressReporter, format_eta
@@ -197,6 +203,67 @@ class TestResultCache:
         executed = len(list(counter_dir.iterdir()))
         assert cache.hits + executed == len(LOADS)
         assert resumed == run_points(tiny_configs(), WARMUP, MEASURE)
+
+
+class TestResolvePoints:
+    """The shared pre-schedule dedup helper (pool, farm and service)."""
+
+    def test_cold_cache_everything_missing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        res = resolve_points(tiny_configs(), WARMUP, MEASURE, cache)
+        assert isinstance(res, PointResolution)
+        assert res.total == len(LOADS)
+        assert res.cached == 0
+        assert res.missing == list(range(len(LOADS)))
+        assert res.results == [None] * len(LOADS)
+
+    def test_warm_cache_fills_results_in_order(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        computed = run_points(tiny_configs(), WARMUP, MEASURE, cache=cache)
+        res = resolve_points(tiny_configs(), WARMUP, MEASURE, cache)
+        assert res.missing == []
+        assert res.cached == res.total == len(LOADS)
+        assert res.results == computed
+
+    def test_partial_hit_reports_missing_indices(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_points([tiny_config(LOADS[1])], WARMUP, MEASURE, cache=cache)
+        res = resolve_points(tiny_configs(), WARMUP, MEASURE, cache)
+        assert res.missing == [0, 2]
+        assert res.results[1] is not None
+        assert res.cached == 1
+
+    def test_none_cache_means_all_missing(self):
+        res = resolve_points(tiny_configs(), WARMUP, MEASURE, None)
+        assert res.missing == list(range(len(LOADS)))
+        assert res.keys == [
+            point_key(c, WARMUP, MEASURE) for c in tiny_configs()
+        ]
+
+    def test_caller_supplied_keys_are_used_verbatim(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_points(tiny_configs(), WARMUP, MEASURE, cache=cache)
+        bogus = ["nope"] * len(LOADS)
+        res = resolve_points(tiny_configs(), WARMUP, MEASURE, cache,
+                             keys=bogus)
+        assert res.missing == list(range(len(LOADS)))
+        assert res.keys == bogus
+
+    def test_key_count_mismatch_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            resolve_points(tiny_configs(), WARMUP, MEASURE, cache,
+                           keys=["just-one"])
+
+    def test_run_points_dedup_agrees_with_resolution(self, tmp_path):
+        """run_points executes exactly the points resolve_points says."""
+        cache = ResultCache(tmp_path / "cache")
+        run_points([tiny_config(LOADS[0])], WARMUP, MEASURE, cache=cache)
+        res = resolve_points(tiny_configs(), WARMUP, MEASURE, cache)
+        counting, counter_dir = counting_fn(tmp_path)
+        run_points(tiny_configs(), WARMUP, MEASURE, cache=cache,
+                   point_fn=counting)
+        assert len(list(counter_dir.iterdir())) == len(res.missing)
 
 
 class TestCrashHandling:

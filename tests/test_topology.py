@@ -12,6 +12,7 @@ from repro.network.topology import (
     Mesh2D,
     Torus,
     build_topology,
+    fat_tree,
     irregular_example,
     load_topology,
     ring,
@@ -345,5 +346,65 @@ class TestLoadAndBuild:
 
     def test_kinds_constant_covers_dispatch(self):
         assert set(TOPOLOGY_KINDS) == {
-            "torus", "mesh2d", "fullmesh", "irregular", "file"
+            "torus", "mesh2d", "fullmesh", "irregular", "fat_tree", "file"
         }
+
+
+class TestFatTree:
+    def test_router_count(self):
+        # Level sizes 1, 2, 8 for dims (2, 4): 11 routers, the last
+        # level's 8 are the leaves carrying the compute nodes.
+        t = fat_tree((2, 4))
+        assert t.num_routers == 1 + 2 + 8
+
+    def test_is_irregular_graph(self):
+        assert isinstance(fat_tree((2, 2)), IrregularGraph)
+
+    def test_trunk_fatness_tapers_toward_leaves(self):
+        t = fat_tree((2, 2), max_fatness=4)
+        pairs = [(min(k.src, k.dst), max(k.src, k.dst)) for k in t.links]
+        # Root (0) to its two children: fatness min(4, 2) = 2 parallel
+        # undirected trunks = 4 unidirectional links per child pair.
+        assert pairs.count((0, 1)) == 4
+        # Leaf trunks are single links (2 unidirectional).
+        assert pairs.count((1, 3)) == 2
+
+    def test_max_fatness_caps_trunks(self):
+        thin = fat_tree((4, 4), max_fatness=1)
+        pairs = [(min(k.src, k.dst), max(k.src, k.dst)) for k in thin.links]
+        assert max(pairs.count(p) for p in set(pairs)) == 2
+
+    def test_connected_and_certifiable(self):
+        t = fat_tree((2, 4))
+        g = nx.Graph((k.src, k.dst) for k in t.links)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == t.num_routers
+
+    def test_bristling_multiplies_nodes(self):
+        t = fat_tree((2, 2), bristling=2)
+        assert t.num_nodes == 2 * t.num_routers
+
+    def test_build_topology_dispatch(self):
+        t = build_topology("fat_tree", dims=(2, 2))
+        assert isinstance(t, IrregularGraph)
+        assert t.num_routers == 7
+
+    @pytest.mark.parametrize("bad", [(), (0, 2), (2, -1)])
+    def test_invalid_dims_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            fat_tree(bad)
+
+    def test_invalid_fatness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fat_tree((2, 2), max_fatness=0)
+
+    def test_routes_deliver_under_pr(self):
+        from repro.config import SimConfig
+        from repro.sim.engine import Engine
+
+        engine = Engine(SimConfig(
+            topology="fat_tree", dims=(2, 2), scheme="PR",
+            pattern="PAT271", num_vcs=4, load=0.01, seed=3,
+        ))
+        window = engine.run_measured(300, 600)
+        assert window.messages_delivered > 0
